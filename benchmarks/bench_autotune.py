@@ -1,0 +1,83 @@
+"""Reproduces the tuning run of Section IV-C.
+
+"All Tangram code versions are tuned using __tunable parameters to
+determine optimal block and grid dimensions. This is done with a simple
+script that runs all versions with different tuning parameters for the
+biggest problem size. It takes about 20 minutes."
+
+Ours runs the same sweep against the timing model (seconds, not 20
+minutes — the sweep itself is the reproduced artifact). The bench also
+builds the DySel-style dynamic selection table [33].
+"""
+
+import time
+
+from conftest import ARCHS, once, write_table
+
+from repro.autotune import DynamicSelector, tune_all
+
+#: The paper tunes at the biggest problem size.
+BIGGEST = 268_435_456
+
+#: Keep the sweep cheap: tuning decisions at the biggest size are made
+#: by the coarsening/grid dimensions, which this grid covers.
+BLOCKS = (128, 256)
+GRIDS = (None, 1024)
+
+
+def run_tuning(fw):
+    started = time.perf_counter()
+    results = tune_all(
+        fw, BIGGEST, "kepler", candidates=list(fw.catalog),
+        blocks=BLOCKS, grids=GRIDS,
+    )
+    elapsed = time.perf_counter() - started
+    return results, elapsed
+
+
+def test_tuning_sweep_biggest_size(benchmark, fw):
+    results, elapsed = once(benchmark, run_tuning, fw)
+    lines = [
+        f"Tuning sweep at n={BIGGEST} on Kepler "
+        f"(paper: ~20 min on hardware; ours: {elapsed:.1f}s on the model)",
+        "",
+        f"{'version':>8} {'block':>6} {'grid':>6} {'time(us)':>10}",
+    ]
+    for label in sorted(results):
+        r = results[label]
+        lines.append(
+            f"{label:>8} {r.tunables.block:>6} {str(r.tunables.grid):>6} "
+            f"{r.time_s * 1e6:>10.1f}"
+        )
+    write_table("autotune", lines)
+
+    # every version found a strictly-best configuration
+    for label, result in results.items():
+        times = [t for _, t in result.trials]
+        assert result.time_s == min(times)
+    # compound versions should beat coop versions at the biggest size
+    best = min(results, key=lambda k: results[k].time_s)
+    assert fw.resolve(best).block_kind == "compound"
+
+
+def test_dynamic_selector_table(benchmark, fw):
+    selector = once(
+        benchmark,
+        DynamicSelector.build,
+        fw,
+        "maxwell",
+        (1024, 65536, 4194304),
+        ["n", "m", "p", "b", "e"],
+        (64, 256),
+        (None,),
+    )
+    lines = ["DySel-style selection table (Maxwell):", ""]
+    for entry in selector.entries:
+        lines.append(
+            f"  n <= {entry.max_n:>9}: version ({entry.version_key}) "
+            f"block={entry.tunables.block} -> {entry.time_s * 1e6:.1f}us"
+        )
+    write_table("selector_maxwell", lines)
+    # the winner changes across the size range (performance portability)
+    winners = {entry.version_key for entry in selector.entries}
+    assert len(winners) >= 2

@@ -1,0 +1,34 @@
+"""Compiler-throughput benches: how fast the toolchain itself runs.
+
+Not a paper figure, but standard for a compiler artifact: time the
+frontend (lex+parse+analyze), the pre-processing pipeline (the three AST
+passes, Figure 5), kernel synthesis, and CUDA emission. These use
+pytest-benchmark's statistics for real timing numbers.
+"""
+
+from repro.codegen import build_plan, emit_version
+from repro.core import FIG6, preprocess
+from repro.core.sources import load_reduction_program, reduction_source
+from repro.lang import analyze_source
+
+
+def test_frontend_throughput(benchmark):
+    source = reduction_source("add", "float")
+    analyzed = benchmark(analyze_source, source)
+    assert len(analyzed.codelets) == 6
+
+
+def test_pipeline_throughput(benchmark):
+    analyzed = load_reduction_program("add", "float")
+    result = benchmark(preprocess, analyzed)
+    assert len(result.coop) == 6  # the paper's five + the VA1A extension
+
+
+def test_synthesis_throughput(benchmark, fw):
+    plan = benchmark(build_plan, fw.pre, FIG6["p"], 1_000_000)
+    assert plan.num_kernel_launches() == 1
+
+
+def test_cuda_emission_throughput(benchmark, fw):
+    text = benchmark(emit_version, fw.pre, FIG6["p"])
+    assert "__shfl_down" in text

@@ -1,0 +1,41 @@
+"""Reproduces Figure 10: per-size detail on the Pascal P100.
+
+Paper claims checked:
+
+* Pascal's improved (scoped) atomics make the shared-atomic cooperative
+  codelets the best versions: (n) for small arrays, (p) for medium;
+* Tangram is competitive with the OpenMP CPU even for small arrays
+  (Pascal's higher clock), and 3-6x faster in the 4K-65K range;
+* large arrays: CUB ~27% faster than Tangram, Kokkos ~2.2x over CUB.
+"""
+
+from conftest import once, write_table
+from detail import build_detail, render_detail, winner_competitive
+
+PLOTTED = ("n", "p", "e")
+
+
+def test_fig10_pascal_detail(benchmark, fw):
+    rows = once(benchmark, build_detail, fw, "pascal", PLOTTED)
+    write_table("fig10_pascal", render_detail("Figure 10", "pascal", PLOTTED, rows))
+
+    by_n = {row["n"]: row for row in rows}
+    # small: (n); medium: (p) — the scoped-atomic-friendly codelets
+    for n in (256, 1024):
+        assert winner_competitive(rows, n, "n"), n
+    assert winner_competitive(rows, 262144, "p", tolerance=1.05)
+    # near the compound-version crossover (p) stays within 15%
+    assert winner_competitive(rows, 1048576, "p", tolerance=1.15)
+    # large: the compound coarsening version (e)
+    for n in (67108864, 268435456):
+        assert by_n[n]["winner"] == "e", n
+        # paper: ~27% slower than CUB -> speedup ~0.73-0.85 band
+        assert 0.65 < by_n[n]["speedups"]["e"] < 0.95, n
+    # Tangram competitive with OpenMP at small sizes on Pascal
+    small = by_n[1024]
+    assert small["speedups"][small["winner"]] >= small["openmp"] * 0.9
+    # and clearly faster in the 4K-65K range
+    mid = by_n[16384]
+    assert mid["speedups"][mid["winner"]] > mid["openmp"]
+    # Kokkos ~2.2x over CUB at large sizes
+    assert by_n[268435456]["kokkos"] > 1.9

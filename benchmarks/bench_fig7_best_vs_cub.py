@@ -1,0 +1,80 @@
+"""Reproduces Figure 7: best Tangram-synthesized version vs the CUB
+baseline on Kepler/Maxwell/Pascal, plus the OpenMP CPU line.
+
+Paper shapes checked:
+
+* Tangram beats CUB significantly (2-6x) below ~1M elements on every
+  architecture;
+* Tangram is 7-38% *slower* than CUB above ~4M elements;
+* OpenMP is ~4x faster than CUB below 65K and far slower at 260M;
+* average speedup over CUB across the sweep is ~2x.
+"""
+
+import statistics
+
+from conftest import ARCHS, PAPER_SIZES, best_tuned, once, write_table
+
+from repro import cub_time, openmp_time
+
+
+def build_figure(fw):
+    candidates = list(fw.catalog)
+    table = {}
+    for arch in ARCHS:
+        rows = []
+        for n in PAPER_SIZES:
+            label, t_tgm = best_tuned(fw, n, arch, candidates)
+            t_cub = cub_time(n, arch)
+            rows.append(
+                {
+                    "n": n,
+                    "label": label,
+                    "tangram": t_tgm,
+                    "cub": t_cub,
+                    "speedup": t_cub / t_tgm,
+                    "omp_speedup": t_cub / openmp_time(n),
+                }
+            )
+        table[arch] = rows
+    return table
+
+
+def render(table):
+    lines = ["Figure 7 — speedup over CUB baseline (higher is better)", ""]
+    header = f"{'n':>12}" + "".join(f"  {arch:>14}" for arch in ARCHS) + f"  {'OpenMP':>8}"
+    lines.append(header)
+    for i, n in enumerate(PAPER_SIZES):
+        cells = "".join(
+            f"  {table[arch][i]['speedup']:>10.2f}({table[arch][i]['label']})"
+            for arch in ARCHS
+        )
+        omp = table[ARCHS[0]][i]["omp_speedup"]
+        lines.append(f"{n:>12}{cells}  {omp:>8.2f}")
+    for arch in ARCHS:
+        speedups = [row["speedup"] for row in table[arch]]
+        lines.append(
+            f"  {arch}: geo-mean {statistics.geometric_mean(speedups):.2f}x, "
+            f"max {max(speedups):.2f}x"
+        )
+    return lines
+
+
+def test_fig7_best_vs_cub(benchmark, fw):
+    table = once(benchmark, build_figure, fw)
+    write_table("fig7_best_vs_cub", render(table))
+
+    for arch in ARCHS:
+        rows = {row["n"]: row for row in table[arch]}
+        # small & medium arrays: clear wins over CUB
+        for n in (256, 4096, 65536):
+            assert rows[n]["speedup"] > 1.8, (arch, n)
+        # large arrays: CUB's vector loads win, but within the paper's band
+        for n in (16777216, 268435456):
+            assert 0.6 < rows[n]["speedup"] < 1.0, (arch, n)
+        # average ~2x, like the paper's headline number
+        geo = statistics.geometric_mean(r["speedup"] for r in table[arch])
+        assert 1.5 < geo < 3.0, arch
+        # OpenMP ~4x faster than CUB below 65K
+        assert 2.5 < rows[16384]["omp_speedup"] < 7.0
+        # OpenMP collapses at 260M
+        assert rows[268435456]["omp_speedup"] < 1.0

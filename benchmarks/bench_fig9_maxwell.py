@@ -1,0 +1,38 @@
+"""Reproduces Figure 9: per-size detail on the Maxwell GTX980.
+
+Paper claims checked:
+
+* small arrays (64-65K): version (n) — all threads atomically updating a
+  single shared accumulator — wins, *because Maxwell added native
+  hardware support for shared-memory atomics* (the paper's headline
+  microarchitecture-dictates-algorithm example);
+* medium arrays (65K-4M): version (p) — shuffle + shared atomic — wins;
+* large arrays: compound coarsening versions win among Tangram; CUB ~7%
+  faster; Kokkos ~2.7x over CUB.
+"""
+
+from conftest import once, write_table
+from detail import build_detail, render_detail, winner_competitive
+
+PLOTTED = ("n", "p", "k", "c", "a")
+
+
+def test_fig9_maxwell_detail(benchmark, fw):
+    rows = once(benchmark, build_detail, fw, "maxwell", PLOTTED)
+    write_table("fig9_maxwell", render_detail("Figure 9", "maxwell", PLOTTED, rows))
+
+    by_n = {row["n"]: row for row in rows}
+    # small: (n) wins thanks to native shared atomics
+    for n in (256, 4096):
+        assert winner_competitive(rows, n, "n"), n
+    # medium: (p) wins
+    assert winner_competitive(rows, 262144, "p", tolerance=1.05)
+    # near the compound-version crossover (p) stays within 15%
+    assert winner_competitive(rows, 1048576, "p", tolerance=1.15)
+    # large: compound versions (a)/(c)/(k) competitive winners
+    for n in (16777216, 268435456):
+        assert by_n[n]["winner"] in ("a", "c", "k"), n
+    # CUB slightly faster at large sizes (paper: ~7%)
+    assert 0.8 < by_n[268435456]["speedups"][by_n[268435456]["winner"]] < 1.0
+    # Kokkos > 2x CUB at large sizes (paper: ~2.7x)
+    assert by_n[67108864]["kokkos"] > 2.2

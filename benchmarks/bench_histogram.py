@@ -1,0 +1,45 @@
+"""Extension bench: histogram privatization study (Sections I, III-B).
+
+Not a paper figure, but the paper's motivating application for the
+shared-atomic qualifier: per-block privatized histograms in shared
+memory vs direct global atomics, across the three architectures. The
+shape to expect: privatization wins under contention everywhere, and
+the advantage is largest where shared atomics are natively supported.
+"""
+
+from conftest import once, write_table
+
+from repro.apps import Histogram
+
+SIZES = (16_384, 262_144, 4_194_304)
+ARCHS = ("kepler", "maxwell", "pascal")
+
+
+def build_study():
+    rows = []
+    for arch in ARCHS:
+        for n in SIZES:
+            shared = Histogram(bins=64, strategy="shared").time(n, arch)
+            direct = Histogram(bins=64, strategy="global").time(n, arch)
+            rows.append((arch, n, shared, direct, direct / shared))
+    return rows
+
+
+def test_histogram_privatization(benchmark):
+    rows = once(benchmark, build_study)
+    lines = [
+        "Histogram: shared-memory privatization vs direct global atomics",
+        "(64 bins; speedup = global/shared, higher favours privatization)",
+        "",
+        f"{'arch':>8} {'n':>9} {'shared(us)':>11} {'global(us)':>11} {'speedup':>8}",
+    ]
+    for arch, n, shared, direct, gain in rows:
+        lines.append(
+            f"{arch:>8} {n:>9} {shared * 1e6:>11.1f} {direct * 1e6:>11.1f} "
+            f"{gain:>8.2f}"
+        )
+    write_table("histogram_privatization", lines)
+    # privatization wins at scale on every architecture
+    for arch, n, _, _, gain in rows:
+        if n >= 262_144:
+            assert gain > 1.5, (arch, n)

@@ -1,0 +1,41 @@
+"""Extension bench: scan block-strategy study (Section I's Scan [14]).
+
+Shape to expect: the warp-shuffle block scan beats the Kogge-Stone
+shared-memory scan on every architecture (fewer barriers, no shared
+round trips), with the largest advantage on Kepler, whose barriers and
+shared accesses are relatively costlier at its lower clock.
+"""
+
+from conftest import once, write_table
+
+from repro.apps import Scan
+
+SIZES = (65_536, 1_048_576, 8_388_608)
+ARCHS = ("kepler", "maxwell", "pascal")
+
+
+def build_study():
+    rows = []
+    for arch in ARCHS:
+        for n in SIZES:
+            shared = Scan(strategy="shared").time(n, arch)
+            shuffle = Scan(strategy="shuffle").time(n, arch)
+            rows.append((arch, n, shared, shuffle, shared / shuffle))
+    return rows
+
+
+def test_scan_strategies(benchmark):
+    rows = once(benchmark, build_study)
+    lines = [
+        "Scan: Kogge-Stone shared-memory block scan vs warp-shuffle scan",
+        "(speedup = shared/shuffle, higher favours the shuffle primitive)",
+        "",
+        f"{'arch':>8} {'n':>9} {'shared(us)':>11} {'shuffle(us)':>12} {'speedup':>8}",
+    ]
+    for arch, n, shared, shuffle, gain in rows:
+        lines.append(
+            f"{arch:>8} {n:>9} {shared * 1e6:>11.1f} {shuffle * 1e6:>12.1f} "
+            f"{gain:>8.2f}"
+        )
+    write_table("scan_strategies", lines)
+    assert all(gain > 1.0 for _, _, _, _, gain in rows)

@@ -1,0 +1,56 @@
+"""Reproduces the search-space numbers of Section IV-B and Figure 6.
+
+Paper targets:
+
+* original Tangram: 10 versions (ours: 6 — our composition rules model
+  fewer internal Tangram combinations; see EXPERIMENTS.md);
+* extended space: 89 versions (ours: 60, same order of magnitude);
+* pruned space: **30 versions, all using global atomics** — reproduced
+  exactly, because the pruning rule (drop every version needing a second
+  kernel) is structural;
+* Figure 6: 16 named versions, 8 best-performing.
+"""
+
+from conftest import once, write_table
+
+from repro.core import (
+    BEST8,
+    FIG6,
+    enumerate_versions,
+    prune_versions,
+    search_space_summary,
+)
+
+
+def build_table():
+    summary = search_space_summary()
+    lines = [
+        "Search space (Section IV-B)          ours   paper",
+        f"  original Tangram versions          {summary['original']:>4}      10",
+        f"  full extended space                {summary['total']:>4}      89",
+        f"  using only global atomics          {summary['with_global_atomics_only']:>4}      10",
+        f"  using shared-memory atomics        {summary['with_shared_atomics']:>4}      38",
+        f"  using warp shuffles                {summary['with_shuffle']:>4}      31",
+        f"  after pruning (no 2nd kernel)      {summary['pruned_total']:>4}      30",
+        "",
+        "Figure 6 catalog (16 versions; * = paper's 8 best):",
+    ]
+    for label in sorted(FIG6):
+        star = "*" if label in BEST8 else " "
+        lines.append(f"  ({label}) {star} {FIG6[label].identifier}")
+    return summary, lines
+
+
+def test_search_space_table(benchmark):
+    summary, lines = once(benchmark, build_table)
+    write_table("search_space", lines)
+    assert summary["pruned_total"] == 30  # exact paper match
+    assert summary["pruned_all_use_global_atomics"]
+    assert len(FIG6) == 16
+    assert len(BEST8) == 8
+
+
+def test_enumeration_throughput(benchmark):
+    """How fast the variant enumerator runs (compile-time cost)."""
+    versions = benchmark(lambda: prune_versions(enumerate_versions()))
+    assert len(versions) == 30

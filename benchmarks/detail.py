@@ -1,0 +1,55 @@
+"""Shared builder for the per-architecture detail figures (Figs. 8-10)."""
+
+from conftest import PAPER_SIZES, tuned_time
+
+from repro import cub_time, kokkos_time, openmp_time
+
+
+def build_detail(fw, arch, plotted):
+    """Rows of one detail figure: speedup over CUB per plotted version."""
+    rows = []
+    for n in PAPER_SIZES:
+        t_cub = cub_time(n, arch)
+        times = {label: tuned_time(fw, label, n, arch) for label in plotted}
+        winner = min(times, key=times.get)
+        rows.append(
+            {
+                "n": n,
+                "cub": t_cub,
+                "times": times,
+                "speedups": {label: t_cub / t for label, t in times.items()},
+                "kokkos": t_cub / kokkos_time(n, arch),
+                "openmp": t_cub / openmp_time(n),
+                "winner": winner,
+                "winner_time": times[winner],
+            }
+        )
+    return rows
+
+
+def render_detail(name, arch, plotted, rows):
+    lines = [
+        f"{name} — {arch}: speedup over CUB per Tangram version "
+        f"(higher is better)",
+        "",
+        f"{'n':>12}"
+        + "".join(f"({label})".rjust(8) for label in plotted)
+        + f"{'Kokkos':>9}{'OpenMP':>9}  winner",
+    ]
+    for row in rows:
+        cells = "".join(f"{row['speedups'][label]:>8.2f}" for label in plotted)
+        lines.append(
+            f"{row['n']:>12}{cells}{row['kokkos']:>9.2f}{row['openmp']:>9.2f}"
+            f"  ({row['winner']})"
+        )
+    return lines
+
+
+def winner_competitive(rows, n, expected_label, tolerance=1.10):
+    """True when the paper's winner is within ``tolerance`` of our best —
+    honest matching for near-tie cases."""
+    row = next(r for r in rows if r["n"] == n)
+    if row["winner"] == expected_label:
+        return True
+    expected = row["times"].get(expected_label)
+    return expected is not None and expected <= row["winner_time"] * tolerance

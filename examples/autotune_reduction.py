@@ -1,0 +1,63 @@
+"""Autotuning and DySel-style runtime selection.
+
+Reproduces the paper's tuning flow (Section IV-C): sweep the __tunable
+block/grid parameters per code version, then build a runtime selection
+table that picks the best tuned version per input size — the dynamic
+kernel selection the paper cites as [33].
+
+Run:  python examples/autotune_reduction.py
+"""
+
+import numpy as np
+
+from repro import ReductionFramework
+from repro.autotune import DynamicSelector, tune_version
+
+
+def main():
+    fw = ReductionFramework(op="add")
+    arch = "maxwell"
+
+    # 1. Tune one version: the sweep over block/grid configurations.
+    print(f"Tuning version (b) at n=4194304 on {arch}:")
+    result = tune_version(
+        fw, "b", 4_194_304, arch, blocks=(64, 128, 256), grids=(None, 128, 512)
+    )
+    for tunables, seconds in sorted(result.trials, key=lambda t: t[1]):
+        marker = " <- best" if tunables == result.tunables else ""
+        print(
+            f"  block={tunables.block:>4} grid={str(tunables.grid):>5}: "
+            f"{seconds * 1e6:8.1f} us{marker}"
+        )
+
+    # 2. Build the runtime selection table across sizes.
+    print(f"\nDynamic selection table on {arch}:")
+    selector = DynamicSelector.build(
+        fw,
+        arch,
+        sizes=(1024, 65_536, 1_048_576, 16_777_216),
+        candidates=["n", "m", "p", "b", "e"],
+        blocks=(64, 128, 256),
+        grids=(None, 512),
+    )
+    for entry in selector.entries:
+        print(
+            f"  n <= {entry.max_n:>9}: version ({entry.version_key}) "
+            f"block={entry.tunables.block} grid={entry.tunables.grid} "
+            f"-> {entry.time_s * 1e6:.1f} us"
+        )
+
+    # 3. Use the selector end-to-end on real data.
+    rng = np.random.default_rng(1)
+    for n in (3000, 300_000):
+        data = rng.random(n).astype(np.float32)
+        run = selector.reduce(data)
+        assert abs(run.value - data.sum()) / data.sum() < 1e-4
+        print(
+            f"\nreduce(n={n}): selector chose ({run.label}), "
+            f"result {run.value:.2f} (numpy {data.sum():.2f})"
+        )
+
+
+if __name__ == "__main__":
+    main()

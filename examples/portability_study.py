@@ -1,0 +1,58 @@
+"""Performance-portability study: one DSL source, three GPU generations.
+
+Reproduces the core finding of the paper at example scale: the best
+synthesized code version changes with the microarchitecture (Kepler's
+software shared atomics vs Maxwell/Pascal's native support), and the
+framework beats the hand-written CUB baseline for small/medium arrays
+while staying within tens of percent for large ones.
+
+Run:  python examples/portability_study.py
+"""
+
+from repro import ReductionFramework, Tunables, cub_time, kokkos_time, openmp_time
+
+SIZES = (256, 4096, 65536, 1048576, 16777216)
+ARCHS = ("kepler", "maxwell", "pascal")
+
+
+def tuned(fw, label, n, arch):
+    version = fw.resolve(label)
+    blocks = (64, 128, 256)
+    grids = (None,) if version.block_kind == "coop" else (None, 512)
+    return min(
+        fw.time(n, version, arch, Tunables(block=b, grid=g))
+        for b in blocks
+        for g in grids
+    )
+
+
+def main():
+    fw = ReductionFramework(op="add")
+    candidates = ("l", "m", "n", "p", "a", "b", "e")
+
+    print("Best synthesized version per architecture and size")
+    print("(speedup is over the CUB baseline; >1 means faster than CUB)\n")
+    header = f"{'n':>10}" + "".join(f"  {arch:>16}" for arch in ARCHS)
+    print(header + f"  {'OpenMP':>8}  {'Kokkos':>8}")
+    for n in SIZES:
+        cells = []
+        for arch in ARCHS:
+            times = {label: tuned(fw, label, n, arch) for label in candidates}
+            winner = min(times, key=times.get)
+            speedup = cub_time(n, arch) / times[winner]
+            cells.append(f"  {speedup:>11.2f} ({winner})")
+        omp = cub_time(n, ARCHS[0]) / openmp_time(n)
+        kok = cub_time(n, ARCHS[0]) / kokkos_time(n, ARCHS[0])
+        print(f"{n:>10}" + "".join(cells) + f"  {omp:>8.2f}  {kok:>8.2f}")
+
+    print(
+        "\nNote how the winner flips: Kepler avoids shared atomics under\n"
+        "contention (software lock loop) and prefers the pure-shuffle (m),\n"
+        "while Maxwell/Pascal's native shared atomics favour (n)/(p); at\n"
+        "large sizes every architecture switches to the thread-coarsening\n"
+        "compound versions (a/b/e)."
+    )
+
+
+if __name__ == "__main__":
+    main()

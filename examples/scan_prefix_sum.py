@@ -1,0 +1,43 @@
+"""Device-wide inclusive scan — the second algorithm the paper's intro
+motivates with parallel reduction [14].
+
+Compares the classic Kogge-Stone shared-memory block scan against the
+warp-shuffle block scan (the Section II-A-1 primitive, here used in its
+``__shfl_up`` form).
+
+Run:  python examples/scan_prefix_sum.py
+"""
+
+import numpy as np
+
+from repro.apps import Scan
+
+
+def main():
+    rng = np.random.default_rng(11)
+    data = rng.random(50_000).astype(np.float32)
+    reference = np.cumsum(data, dtype=np.float64)
+
+    for strategy in ("shared", "shuffle"):
+        scan = Scan(strategy=strategy)
+        out, profile = scan.run(data)
+        max_err = float(np.max(np.abs(out - reference) / np.maximum(1, reference)))
+        events = profile.steps[0].events
+        print(
+            f"strategy={strategy:<8} max rel err {max_err:.2e}  "
+            f"(shuffles: {events.get('inst.shfl', 0):>5}, "
+            f"barriers: {events['inst.bar']:>5}, "
+            f"kernels: {profile.num_launches()})"
+        )
+
+    print("\nmodelled time of a 1M-element scan:")
+    print(f"{'arch':>8} {'shared(us)':>11} {'shuffle(us)':>12} {'speedup':>8}")
+    for arch in ("kepler", "maxwell", "pascal"):
+        t_shared = Scan(strategy="shared").time(1_000_000, arch)
+        t_shuffle = Scan(strategy="shuffle").time(1_000_000, arch)
+        print(f"{arch:>8} {t_shared * 1e6:>11.1f} {t_shuffle * 1e6:>12.1f} "
+              f"{t_shared / t_shuffle:>8.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Setuptools shim.
+
+This environment has no ``wheel`` package and no network access, so the
+PEP 517/660 build path (which pip uses whenever ``pyproject.toml`` carries
+a ``[build-system]`` table) cannot produce an editable wheel. Keeping an
+explicit ``setup.py`` lets ``pip install -e .`` use the legacy
+``setup.py develop`` code path, which works offline.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Automatic Generation of Warp-Level Primitives and "
+        "Atomic Instructions for Fast and Portable Parallel Reduction on "
+        "GPUs' (CGO 2019)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+)

@@ -1,0 +1,71 @@
+"""repro — reproduction of *Automatic Generation of Warp-Level Primitives
+and Atomic Instructions for Fast and Portable Parallel Reduction on GPUs*
+(Garcia De Gonzalo et al., CGO 2019).
+
+The package implements, in pure Python:
+
+* a Tangram-like kernel-synthesis DSL (:mod:`repro.lang`);
+* the paper's three AST transformation passes — global-memory atomics,
+  shared-memory atomic qualifiers, and automatic warp-shuffle detection
+  (:mod:`repro.core`);
+* generic lowering of transformed codelets to a virtual SIMT ISA and
+  CUDA C emission (:mod:`repro.codegen`);
+* a functional GPU simulator with per-architecture analytic timing for
+  Kepler/Maxwell/Pascal (:mod:`repro.gpusim`);
+* CUB-like, Kokkos-like and OpenMP baselines (:mod:`repro.baselines`,
+  :mod:`repro.cpu`);
+* an autotuner and runtime version selector (:mod:`repro.autotune`).
+
+Quick start::
+
+    import numpy as np
+    from repro import ReductionFramework
+
+    fw = ReductionFramework(op="add")
+    data = np.random.rand(10_000).astype(np.float32)
+    print(fw.run(data, version="p").value)     # Figure 6 version (p)
+    print(fw.time(len(data), "p", "maxwell"))  # modelled seconds
+"""
+
+from .core import (
+    BEST8,
+    FIG6,
+    Version,
+    enumerate_versions,
+    fig6_label,
+    prune_versions,
+    search_space_summary,
+)
+from .codegen import Tunables
+from .gpusim import ARCHITECTURES, KEPLER, MAXWELL, PASCAL, get_architecture
+from .runtime import (
+    ReduceResult,
+    ReductionFramework,
+    cub_time,
+    kokkos_time,
+    openmp_time,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ARCHITECTURES",
+    "BEST8",
+    "FIG6",
+    "KEPLER",
+    "MAXWELL",
+    "PASCAL",
+    "ReduceResult",
+    "ReductionFramework",
+    "Tunables",
+    "Version",
+    "__version__",
+    "cub_time",
+    "enumerate_versions",
+    "fig6_label",
+    "get_architecture",
+    "kokkos_time",
+    "openmp_time",
+    "prune_versions",
+    "search_space_summary",
+]

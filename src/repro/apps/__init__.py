@@ -1,0 +1,6 @@
+"""Applications built on the framework (the paper's motivating uses)."""
+
+from .histogram import Histogram, histogram_source, reference_histogram
+from .scan import Scan
+
+__all__ = ["Histogram", "Scan", "histogram_source", "reference_histogram"]

@@ -1,0 +1,25 @@
+"""Autotuning (Section IV-C) and DySel-style runtime selection [33]."""
+
+from .selector import DEFAULT_SIZE_GRID, DynamicSelector, SelectorEntry
+from .tuner import (
+    DEFAULT_BLOCKS,
+    DEFAULT_GRIDS,
+    TuneResult,
+    best_tuned_version,
+    configurations,
+    tune_all,
+    tune_version,
+)
+
+__all__ = [
+    "DEFAULT_BLOCKS",
+    "DEFAULT_GRIDS",
+    "DEFAULT_SIZE_GRID",
+    "DynamicSelector",
+    "SelectorEntry",
+    "TuneResult",
+    "best_tuned_version",
+    "configurations",
+    "tune_all",
+    "tune_version",
+]

@@ -1,0 +1,71 @@
+"""DySel-style dynamic kernel selection at runtime [33].
+
+The paper notes Tangram can pick the best synthesized version either
+with compile-time heuristics or with lightweight dynamic selection at
+runtime. :class:`DynamicSelector` pre-tabulates the best tuned version
+per input-size bucket for one architecture, then answers ``select(n)``
+in O(log #buckets).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from .tuner import DEFAULT_BLOCKS, DEFAULT_GRIDS, best_tuned_version
+
+#: Size grid used to build the selection table (powers of four, like the
+#: paper's sweep from 64 to 260M elements).
+DEFAULT_SIZE_GRID = tuple(4 ** k for k in range(3, 15))
+
+
+@dataclass
+class SelectorEntry:
+    max_n: int
+    version_key: object
+    tunables: object
+    time_s: float
+
+
+@dataclass
+class DynamicSelector:
+    framework: object
+    arch: object
+    entries: list = field(default_factory=list)
+
+    @classmethod
+    def build(
+        cls,
+        framework,
+        arch,
+        sizes=DEFAULT_SIZE_GRID,
+        candidates=None,
+        blocks=DEFAULT_BLOCKS,
+        grids=DEFAULT_GRIDS,
+    ) -> "DynamicSelector":
+        """Tune/tabulate the best version at each size in ``sizes``."""
+        entries = []
+        for n in sorted(sizes):
+            key, tunables, seconds = best_tuned_version(
+                framework, n, arch, candidates, blocks, grids
+            )
+            entries.append(
+                SelectorEntry(
+                    max_n=n, version_key=key, tunables=tunables, time_s=seconds
+                )
+            )
+        return cls(framework=framework, arch=arch, entries=entries)
+
+    def select(self, n: int) -> SelectorEntry:
+        """The table entry covering input size ``n``."""
+        if not self.entries:
+            raise RuntimeError("selector table is empty; call build() first")
+        keys = [entry.max_n for entry in self.entries]
+        index = bisect.bisect_left(keys, n)
+        index = min(index, len(self.entries) - 1)
+        return self.entries[index]
+
+    def reduce(self, data):
+        """Run the selected version on actual data (functional)."""
+        entry = self.select(len(data))
+        return self.framework.run(data, entry.version_key, entry.tunables)

@@ -1,0 +1,103 @@
+"""Autotuning of ``__tunable`` launch parameters (Section IV-C).
+
+The paper tunes every code version's block and grid dimensions "with a
+simple script that runs all versions with different tuning parameters"
+— this module is that script. :func:`tune_version` sweeps a small
+configuration grid for one version and returns the best
+:class:`~repro.codegen.synthesize.Tunables`;
+:func:`tune_all` does it for a set of versions on one architecture.
+
+Because our timing is a model over cached, architecture-independent
+event profiles, a full sweep takes seconds rather than the paper's ~20
+minutes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..codegen.synthesize import Tunables
+
+#: Default block-dimension sweep (powers of two, full warps).
+DEFAULT_BLOCKS = (64, 128, 256, 512)
+
+#: Default partition counts (grid) swept for compound versions.
+#: ``None`` lets the synthesizer derive the grid from the input size.
+DEFAULT_GRIDS = (None, 128, 256, 512, 1024)
+
+
+@dataclass
+class TuneResult:
+    version_key: object
+    tunables: Tunables
+    time_s: float
+    trials: list = field(default_factory=list)  # (Tunables, seconds)
+
+
+def configurations(version, blocks=DEFAULT_BLOCKS, grids=DEFAULT_GRIDS):
+    """The tuning grid for one version (coop versions ignore ``grid``)."""
+    configs = []
+    for block in blocks:
+        if version.block_kind == "coop":
+            configs.append(Tunables(block=block))
+        else:
+            for grid in grids:
+                configs.append(Tunables(block=block, grid=grid))
+    return configs
+
+
+def tune_version(
+    framework,
+    version,
+    n: int,
+    arch,
+    blocks=DEFAULT_BLOCKS,
+    grids=DEFAULT_GRIDS,
+) -> TuneResult:
+    """Sweep tuning parameters for one version at input size ``n``."""
+    resolved = framework.resolve(version)
+    best = None
+    trials = []
+    for tunables in configurations(resolved, blocks, grids):
+        seconds = framework.time(n, resolved, arch, tunables)
+        trials.append((tunables, seconds))
+        if best is None or seconds < best[1]:
+            best = (tunables, seconds)
+    return TuneResult(
+        version_key=version, tunables=best[0], time_s=best[1], trials=trials
+    )
+
+
+def tune_all(
+    framework,
+    n: int,
+    arch,
+    candidates=None,
+    blocks=DEFAULT_BLOCKS,
+    grids=DEFAULT_GRIDS,
+) -> dict:
+    """Tune every candidate version; returns ``{key: TuneResult}``.
+
+    This reproduces the paper's tuning run ("for the biggest problem
+    size"); pass the sweep's largest ``n``.
+    """
+    candidates = candidates if candidates is not None else list(framework.catalog)
+    return {
+        key: tune_version(framework, key, n, arch, blocks, grids)
+        for key in candidates
+    }
+
+
+def best_tuned_version(
+    framework,
+    n: int,
+    arch,
+    candidates=None,
+    blocks=DEFAULT_BLOCKS,
+    grids=DEFAULT_GRIDS,
+):
+    """Best (version key, Tunables, seconds) across candidates at size n."""
+    results = tune_all(framework, n, arch, candidates, blocks, grids)
+    key = min(results, key=lambda k: results[k].time_s)
+    winner = results[key]
+    return key, winner.tunables, winner.time_s

@@ -1,0 +1,6 @@
+"""Hand-written baseline reductions: CUB-like and Kokkos-like."""
+
+from .cub import CUB_HOST_OVERHEAD_S, build_cub_plan, cub_grid
+from .kokkos import build_kokkos_plan
+
+__all__ = ["CUB_HOST_OVERHEAD_S", "build_cub_plan", "build_kokkos_plan", "cub_grid"]

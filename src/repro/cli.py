@@ -1,0 +1,178 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``passes``    — show the pre-processing pipeline log (Figure 5);
+* ``variants``  — list the Figure 6 catalog and search-space counts;
+* ``cuda``      — emit the CUDA C for one version (Listings 1-4 style);
+* ``reduce``    — run a reduction on random data on the simulator;
+* ``time``      — modelled wall times across architectures;
+* ``tune``      — sweep tunable parameters for one version.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _add_common(parser):
+    parser.add_argument(
+        "--op", choices=("add", "max", "min"), default="add",
+        help="reduction operator (default: add)",
+    )
+
+
+def _framework(args):
+    from .runtime import ReductionFramework
+
+    return ReductionFramework(op=args.op, unroll=getattr(args, "unroll", False))
+
+
+def cmd_passes(args) -> int:
+    fw = _framework(args)
+    for line in fw.pre.log:
+        print(line)
+    return 0
+
+
+def cmd_variants(args) -> int:
+    from .core import BEST8, FIG6, search_space_summary
+
+    summary = search_space_summary()
+    print(f"full space: {summary['total']} versions; pruned: "
+          f"{summary['pruned_total']} (all with global-atomic combine)")
+    print("\nFigure 6 catalog (* = the paper's best performers):")
+    for label in sorted(FIG6):
+        star = "*" if label in BEST8 else " "
+        print(f"  ({label}) {star} {FIG6[label].identifier}")
+    return 0
+
+
+def cmd_cuda(args) -> int:
+    from .codegen import emit_version
+
+    fw = _framework(args)
+    print(emit_version(fw.pre, fw.resolve(args.version)))
+    return 0
+
+
+def cmd_reduce(args) -> int:
+    from .codegen import Tunables
+
+    fw = _framework(args)
+    rng = np.random.default_rng(args.seed)
+    data = rng.random(args.n).astype(np.float32)
+    tunables = Tunables(block=args.block, grid=args.grid) if (
+        args.block or args.grid
+    ) else None
+    if tunables is None and args.block:
+        tunables = Tunables(block=args.block)
+    result = fw.run(data, version=args.version, tunables=tunables)
+    reference = {
+        "add": float(data.sum(dtype=np.float64)),
+        "max": float(data.max()),
+        "min": float(data.min()),
+    }[args.op]
+    error = abs(result.value - reference) / max(1e-12, abs(reference))
+    print(f"version ({args.version}) {result.version.identifier}")
+    print(f"result    = {result.value!r}")
+    print(f"reference = {reference!r}  (relative error {error:.2e})")
+    launches = result.profile.num_launches()
+    print(f"kernel launches: {launches}")
+    return 0 if error < 1e-3 else 1
+
+
+def cmd_time(args) -> int:
+    from .runtime import cub_time, kokkos_time, openmp_time
+
+    fw = _framework(args)
+    labels = args.versions.split(",") if args.versions else ["m", "n", "p", "b"]
+    print(f"{'arch':>8}" + "".join(f"  ({label})".rjust(12) for label in labels)
+          + f"{'CUB':>12}{'Kokkos':>12}{'OpenMP':>12}")
+    for arch in ("kepler", "maxwell", "pascal"):
+        cells = "".join(
+            f"{fw.time(args.n, label, arch) * 1e6:>12.1f}" for label in labels
+        )
+        print(
+            f"{arch:>8}{cells}{cub_time(args.n, arch) * 1e6:>12.1f}"
+            f"{kokkos_time(args.n, arch) * 1e6:>12.1f}"
+            f"{openmp_time(args.n) * 1e6:>12.1f}"
+        )
+    print("(microseconds, modelled)")
+    return 0
+
+
+def cmd_tune(args) -> int:
+    from .autotune import tune_version
+
+    fw = _framework(args)
+    result = tune_version(fw, args.version, args.n, args.arch)
+    print(f"tuning version ({args.version}) at n={args.n} on {args.arch}:")
+    for tunables, seconds in sorted(result.trials, key=lambda t: t[1]):
+        marker = "  <- best" if tunables == result.tunables else ""
+        print(f"  block={tunables.block:>4} grid={str(tunables.grid):>5}: "
+              f"{seconds * 1e6:>9.1f} us{marker}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Automatic Generation of Warp-Level Primitives "
+            "and Atomic Instructions for Fast and Portable Parallel "
+            "Reduction on GPUs' (CGO 2019)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("passes", help="show the Figure 5 pipeline log")
+    _add_common(p)
+    p.add_argument("--unroll", action="store_true")
+    p.set_defaults(func=cmd_passes)
+
+    p = sub.add_parser("variants", help="list the version catalog")
+    p.set_defaults(func=cmd_variants)
+
+    p = sub.add_parser("cuda", help="emit CUDA C for one version")
+    _add_common(p)
+    p.add_argument("version", help="Figure 6 label (a-p)")
+    p.set_defaults(func=cmd_cuda)
+
+    p = sub.add_parser("reduce", help="run a reduction on random data")
+    _add_common(p)
+    p.add_argument("n", type=int)
+    p.add_argument("--version", default="p")
+    p.add_argument("--block", type=int, default=None)
+    p.add_argument("--grid", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_reduce)
+
+    p = sub.add_parser("time", help="modelled times across architectures")
+    _add_common(p)
+    p.add_argument("n", type=int)
+    p.add_argument("--versions", default=None,
+                   help="comma-separated labels (default: m,n,p,b)")
+    p.set_defaults(func=cmd_time)
+
+    p = sub.add_parser("tune", help="sweep tunables for one version")
+    _add_common(p)
+    p.add_argument("n", type=int)
+    p.add_argument("--version", default="b")
+    p.add_argument("--arch", default="kepler",
+                   choices=("kepler", "maxwell", "pascal"))
+    p.set_defaults(func=cmd_tune)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

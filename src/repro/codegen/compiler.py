@@ -1,0 +1,605 @@
+"""Generic lowering of (transformed) codelet ASTs to VIR.
+
+This is the stage that turns the output of the AST passes into
+executable code. It compiles:
+
+* **cooperative codelets** (V / VS / VA1 / VA2 / VA2S) — ``Vector``
+  member functions map to SIMT special registers, ``__shared``
+  declarations become shared buffers (initialized to the reduction
+  identity, like Listing 3 lines 5–11), :class:`~repro.lang.ast.AtomicUpdate`
+  becomes ``atom.shared``, :class:`~repro.lang.ast.WarpShuffle` becomes
+  ``shfl``; barriers are inserted after statements that write shared
+  memory (the ``__syncthreads()`` placement of Listings 3 and 4);
+* **scalar (atomic autonomous) codelets** — the per-thread serial loop
+  of Figure 1(a), over an affine view of global memory.
+
+The codelet's container parameter is bound by the synthesizer to one of:
+
+* :class:`GlobalView` — an affine slice ``buf[base + i*stride]`` of a
+  global buffer (a block's sub-container);
+* :class:`RegisterPartials` — per-thread partial results living in a
+  register, indexable only by ``ThreadId()`` (the compound-block combine
+  stage, where "contents come directly from the input").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lang import ast
+from ..lang.errors import LoweringError
+from ..vir import IRBuilder, Imm, Reg, SharedDecl
+
+_BINOP_MAP = {
+    "+": "add",
+    "-": "sub",
+    "*": "mul",
+    "/": "div",
+    "%": "mod",
+    "&": "and",
+    "|": "or",
+    "^": "xor",
+    "<<": "shl",
+    ">>": "shr",
+    "<": "lt",
+    "<=": "le",
+    ">": "gt",
+    ">=": "ge",
+    "==": "eq",
+    "!=": "ne",
+    "&&": "land",
+    "||": "lor",
+}
+
+_COMPOUND_ASSIGN = {"+=": "add", "-=": "sub", "*=": "mul", "/=": "div", "%=": "mod"}
+
+WARP_SIZE = 32
+
+
+# ---------------------------------------------------------------------
+# Container bindings
+# ---------------------------------------------------------------------
+
+
+@dataclass
+class GlobalView:
+    """Affine view ``buf[base + i * stride]`` with ``size`` elements."""
+
+    buf: str
+    base: object  # operand
+    stride: object  # operand or int
+    size: object  # operand (runtime element count)
+    size_static: int = None  # compile-time bound for shared allocation
+
+    def load(self, compiler: "CodeletToVIR", index_expr: ast.Expr):
+        b = compiler.builder
+        idx = compiler.compile_expr(index_expr)
+        stride = self.stride
+        if isinstance(stride, int):
+            stride = Imm(stride)
+        if isinstance(stride, Imm) and stride.value == 1:
+            scaled = idx
+        else:
+            scaled = b.binop("mul", idx, stride)
+        base = self.base
+        if isinstance(base, Imm) and base.value == 0:
+            addr = scaled
+        else:
+            addr = b.binop("add", base, scaled)
+        return b.ld_global(self.buf, addr)
+
+
+@dataclass
+class RegisterPartials:
+    """Per-thread partials in a register; only ``in[ThreadId()]`` is legal."""
+
+    value: Reg
+    count: int  # blockDim
+
+    @property
+    def size(self):
+        return Imm(self.count)
+
+    @property
+    def size_static(self):
+        return self.count
+
+    def load(self, compiler: "CodeletToVIR", index_expr: ast.Expr):
+        if not compiler.is_thread_id(index_expr):
+            raise LoweringError(
+                "register-partials containers may only be indexed with "
+                "Vector.ThreadId()",
+                index_expr.span,
+            )
+        return self.value
+
+
+# ---------------------------------------------------------------------
+# Variable slots
+# ---------------------------------------------------------------------
+
+
+@dataclass
+class _RegSlot:
+    reg: Reg
+
+
+@dataclass
+class _SharedScalarSlot:
+    buf: str
+    atomic: str = None
+
+
+@dataclass
+class _SharedArraySlot:
+    buf: str
+    size: int
+    atomic: str = None
+
+
+@dataclass
+class _VectorSlot:
+    pass
+
+
+@dataclass
+class _ContainerSlot:
+    binding: object
+
+
+class CodeletToVIR:
+    """Compiles one codelet body into the current builder region."""
+
+    def __init__(
+        self,
+        builder: IRBuilder,
+        codelet: ast.Codelet,
+        binding,
+        *,
+        identity: float = 0.0,
+        prefix: str = "c",
+        insert_barriers: bool = None,
+    ):
+        self.builder = builder
+        self.codelet = codelet
+        self.binding = binding
+        self.identity = identity
+        self.prefix = prefix
+        self.shared_decls = []
+        self.env = {}
+        self.ret_reg = None
+        self._vector_name = None
+        self._specials = {}
+        is_coop = codelet.coop or _declares_vector(codelet)
+        self.is_cooperative = is_coop
+        self.insert_barriers = is_coop if insert_barriers is None else insert_barriers
+
+    # -- public ----------------------------------------------------------
+
+    def compile(self) -> Reg:
+        """Compile the codelet body; returns the register holding the
+        codelet's return value."""
+        params = self.codelet.params
+        self.env[params[0].name] = _ContainerSlot(self.binding)
+        for extra in params[1:]:
+            raise LoweringError(
+                f"extra codelet parameter {extra.name!r} is not supported by "
+                f"lowering yet",
+                extra.span,
+            )
+        self.ret_reg = self.builder.fresh(f"{self.prefix}_ret")
+        self._compile_block(self.codelet.body)
+        return self.ret_reg
+
+    # -- specials -----------------------------------------------------------
+
+    def _special(self, kind: str) -> Reg:
+        if kind not in self._specials:
+            self._specials[kind] = self.builder.special(kind)
+        return self._specials[kind]
+
+    def is_thread_id(self, expr: ast.Expr) -> bool:
+        return (
+            isinstance(expr, ast.MethodCall)
+            and expr.method == "ThreadId"
+            and isinstance(expr.obj, ast.Ident)
+            and expr.obj.name == self._vector_name
+        )
+
+    # -- statements -----------------------------------------------------------
+
+    def _compile_block(self, block: ast.Block) -> bool:
+        wrote_any = False
+        for stmt in block.stmts:
+            wrote = self._compile_stmt(stmt)
+            if wrote and self.insert_barriers:
+                self.builder.bar()
+            wrote_any = wrote_any or wrote
+        return False if self.insert_barriers else wrote_any
+
+    def _compile_stmt(self, stmt: ast.Stmt) -> bool:
+        """Compile one statement; returns True when it wrote shared memory
+        (so the caller inserts a barrier)."""
+        if isinstance(stmt, ast.VarDecl):
+            return self._compile_var_decl(stmt)
+        if isinstance(stmt, ast.Assign):
+            return self._compile_assign(stmt)
+        if isinstance(stmt, ast.AtomicUpdate):
+            return self._compile_atomic_update(stmt)
+        if isinstance(stmt, ast.ExprStmt):
+            self.compile_expr(stmt.expr)
+            return False
+        if isinstance(stmt, ast.If):
+            return self._compile_if(stmt)
+        if isinstance(stmt, ast.For):
+            return self._compile_for(stmt)
+        if isinstance(stmt, ast.While):
+            return self._compile_while(stmt)
+        if isinstance(stmt, ast.Return):
+            self._compile_return(stmt)
+            return False
+        if isinstance(stmt, ast.Block):
+            return self._compile_block(stmt)
+        raise LoweringError(
+            f"cannot lower statement {type(stmt).__name__}", stmt.span
+        )
+
+    def _compile_var_decl(self, decl: ast.VarDecl) -> bool:
+        type_name = str(decl.declared_type) if decl.declared_type else ""
+        if type_name == "Vector":
+            self._vector_name = decl.name
+            self.env[decl.name] = _VectorSlot()
+            return False
+        if type_name in ("Sequence",) or decl.ctor_args:
+            raise LoweringError(
+                f"{type_name or 'Map'} declarations belong to compound "
+                f"codelets and are lowered by the synthesizer",
+                decl.span,
+            )
+        if decl.shared:
+            return self._compile_shared_decl(decl)
+        reg = self.builder.fresh(f"{self.prefix}_{decl.name}")
+        self.env[decl.name] = _RegSlot(reg)
+        if decl.init is not None:
+            value = self.compile_expr(decl.init)
+            self.builder.mov(value, dst=reg)
+        return False
+
+    def _compile_shared_decl(self, decl: ast.VarDecl) -> bool:
+        buf = f"{self.prefix}_{decl.name}"
+        b = self.builder
+        if decl.dims:
+            if len(decl.dims) != 1:
+                raise LoweringError("only 1-D shared arrays supported", decl.span)
+            size = self._static_eval(decl.dims[0])
+            self.shared_decls.append(SharedDecl(buf, size))
+            self.env[decl.name] = _SharedArraySlot(buf, size, atomic=decl.atomic)
+            # Cooperative initialization to the reduction identity
+            # (Listing 3 lines 9-11; identity generalizes the 0 of sums).
+            tid = self._special("tid")
+            idx = b.mov(tid)
+            cond = b.fresh(f"{self.prefix}_initc")
+            loop = b.while_(cond)
+            with loop.cond:
+                b.binop("lt", idx, size, dst=cond)
+            with loop.body:
+                b.st_shared(buf, idx, Imm(self.identity))
+                b.binop("add", idx, self._block_dim_operand(), dst=idx)
+            return True
+        # shared scalar (the single accumulator of Figure 3).
+        self.shared_decls.append(SharedDecl(buf, 1))
+        self.env[decl.name] = _SharedScalarSlot(buf, atomic=decl.atomic)
+        tid = self._special("tid")
+        is_zero = b.binop("eq", tid, 0)
+        with b.if_(is_zero):
+            b.st_shared(buf, 0, Imm(self.identity))
+        return True
+
+    def _block_dim_operand(self):
+        return self._special("ntid")
+
+    def _compile_assign(self, stmt: ast.Assign) -> bool:
+        target = stmt.target
+        if isinstance(target, ast.Ident):
+            slot = self._lookup(target.name, target.span)
+            if isinstance(slot, _RegSlot):
+                value = self.compile_expr(stmt.value)
+                if stmt.op == "=":
+                    self.builder.mov(value, dst=slot.reg)
+                else:
+                    op = self._compound_op(stmt.op, stmt.span)
+                    self.builder.binop(op, slot.reg, value, dst=slot.reg)
+                return False
+            if isinstance(slot, _SharedScalarSlot):
+                value = self.compile_expr(stmt.value)
+                if stmt.op == "=":
+                    self.builder.st_shared(slot.buf, 0, value)
+                else:
+                    op = self._compound_op(stmt.op, stmt.span)
+                    old = self.builder.ld_shared(slot.buf, 0)
+                    new = self.builder.binop(op, old, value)
+                    self.builder.st_shared(slot.buf, 0, new)
+                return True
+            raise LoweringError(
+                f"cannot assign to {target.name!r}", stmt.span
+            )
+        if isinstance(target, ast.Index) and isinstance(target.base, ast.Ident):
+            slot = self._lookup(target.base.name, target.span)
+            if not isinstance(slot, _SharedArraySlot):
+                raise LoweringError(
+                    f"cannot store into {target.base.name!r}", stmt.span
+                )
+            idx = self.compile_expr(target.index)
+            value = self.compile_expr(stmt.value)
+            if stmt.op == "=":
+                self.builder.st_shared(slot.buf, idx, value)
+            else:
+                op = self._compound_op(stmt.op, stmt.span)
+                old = self.builder.ld_shared(slot.buf, idx)
+                new = self.builder.binop(op, old, value)
+                self.builder.st_shared(slot.buf, idx, new)
+            return True
+        raise LoweringError("unsupported assignment target", stmt.span)
+
+    @staticmethod
+    def _compound_op(op_text: str, span) -> str:
+        op = _COMPOUND_ASSIGN.get(op_text)
+        if op is None:
+            raise LoweringError(f"unsupported assignment {op_text!r}", span)
+        return op
+
+    def _compile_atomic_update(self, stmt: ast.AtomicUpdate) -> bool:
+        if stmt.space != "shared":
+            raise LoweringError(
+                "global AtomicUpdate is emitted by the synthesizer", stmt.span
+            )
+        value = self.compile_expr(stmt.value)
+        target = stmt.target
+        if isinstance(target, ast.Ident):
+            slot = self._lookup(target.name, target.span)
+            if isinstance(slot, _SharedScalarSlot):
+                self.builder.atom_shared(stmt.op, slot.buf, 0, value)
+                return True
+        if isinstance(target, ast.Index) and isinstance(target.base, ast.Ident):
+            slot = self._lookup(target.base.name, target.span)
+            if isinstance(slot, _SharedArraySlot):
+                idx = self.compile_expr(target.index)
+                self.builder.atom_shared(stmt.op, slot.buf, idx, value)
+                return True
+        raise LoweringError("unsupported AtomicUpdate target", stmt.span)
+
+    def _compile_if(self, stmt: ast.If) -> bool:
+        cond = self._as_reg(self.compile_expr(stmt.cond))
+        instr, then_region, else_region = self.builder.if_else(cond)
+        with then_region:
+            wrote = self._compile_block(stmt.then)
+        if stmt.otherwise is not None:
+            with else_region:
+                wrote = self._compile_block(stmt.otherwise) or wrote
+        return wrote
+
+    def _compile_for(self, stmt: ast.For) -> bool:
+        if stmt.init is not None:
+            self._compile_stmt(stmt.init)
+        cond_reg = self.builder.fresh(f"{self.prefix}_loopc")
+        loop = self.builder.while_(cond_reg)
+        with loop.cond:
+            if stmt.cond is None:
+                self.builder.mov(Imm(True), dst=cond_reg)
+            else:
+                self.builder.mov(self.compile_expr(stmt.cond), dst=cond_reg)
+        with loop.body:
+            wrote = self._compile_block(stmt.body)
+            if stmt.step is not None:
+                self._compile_stmt(stmt.step)
+        return wrote
+
+    def _compile_while(self, stmt: ast.While) -> bool:
+        cond_reg = self.builder.fresh(f"{self.prefix}_loopc")
+        loop = self.builder.while_(cond_reg)
+        with loop.cond:
+            self.builder.mov(self.compile_expr(stmt.cond), dst=cond_reg)
+        with loop.body:
+            wrote = self._compile_block(stmt.body)
+        return wrote
+
+    def _compile_return(self, stmt: ast.Return) -> None:
+        if stmt.value is None:
+            raise LoweringError("codelets must return a value", stmt.span)
+        value = self.compile_expr(stmt.value)
+        self.builder.mov(value, dst=self.ret_reg)
+
+    # -- expressions -----------------------------------------------------------
+
+    def compile_expr(self, expr: ast.Expr):
+        if isinstance(expr, ast.IntLiteral):
+            return Imm(expr.value)
+        if isinstance(expr, ast.FloatLiteral):
+            return Imm(expr.value)
+        if isinstance(expr, ast.BoolLiteral):
+            return Imm(expr.value)
+        if isinstance(expr, ast.Ident):
+            return self._compile_ident(expr)
+        if isinstance(expr, ast.Unary):
+            return self._compile_unary(expr)
+        if isinstance(expr, ast.Binary):
+            op = _BINOP_MAP.get(expr.op)
+            if op is None:
+                raise LoweringError(f"cannot lower operator {expr.op!r}", expr.span)
+            lhs = self.compile_expr(expr.lhs)
+            rhs = self.compile_expr(expr.rhs)
+            return self.builder.binop(op, lhs, rhs)
+        if isinstance(expr, ast.Ternary):
+            return self._compile_ternary(expr)
+        if isinstance(expr, ast.Call):
+            return self._compile_call(expr)
+        if isinstance(expr, ast.MethodCall):
+            return self._compile_method_call(expr)
+        if isinstance(expr, ast.Index):
+            return self._compile_index(expr)
+        if isinstance(expr, ast.WarpShuffle):
+            return self._compile_shuffle(expr)
+        raise LoweringError(f"cannot lower {type(expr).__name__}", expr.span)
+
+    def _compile_ident(self, expr: ast.Ident):
+        slot = self._lookup(expr.name, expr.span)
+        if isinstance(slot, _RegSlot):
+            return slot.reg
+        if isinstance(slot, _SharedScalarSlot):
+            return self.builder.ld_shared(slot.buf, 0)
+        raise LoweringError(
+            f"{expr.name!r} cannot be used as a value here", expr.span
+        )
+
+    def _compile_unary(self, expr: ast.Unary):
+        operand = self.compile_expr(expr.operand)
+        if expr.op == "-":
+            return self.builder.unop("neg", operand)
+        if expr.op == "!":
+            return self.builder.unop("lnot", operand)
+        if expr.op == "~":
+            return self.builder.unop("bnot", operand)
+        raise LoweringError(f"cannot lower unary {expr.op!r}", expr.span)
+
+    def _compile_ternary(self, expr: ast.Ternary):
+        # CUDA's ?: short-circuits, so memory accesses must stay guarded
+        # (out-of-bounds loads would fault). Side-effect-free ternaries
+        # lower to a select, like predicated hardware execution.
+        if not (_touches_memory(expr.then) or _touches_memory(expr.otherwise)):
+            cond = self.compile_expr(expr.cond)
+            a = self.compile_expr(expr.then)
+            b = self.compile_expr(expr.otherwise)
+            return self.builder.sel(cond, a, b)
+        dst = self.builder.fresh(f"{self.prefix}_t")
+        cond = self._as_reg(self.compile_expr(expr.cond))
+        instr, then_region, else_region = self.builder.if_else(cond)
+        with then_region:
+            self.builder.mov(self.compile_expr(expr.then), dst=dst)
+        with else_region:
+            self.builder.mov(self.compile_expr(expr.otherwise), dst=dst)
+        return dst
+
+    def _compile_call(self, expr: ast.Call):
+        if expr.name in ("min", "max"):
+            lhs = self.compile_expr(expr.args[0])
+            rhs = self.compile_expr(expr.args[1])
+            return self.builder.binop(expr.name, lhs, rhs)
+        raise LoweringError(
+            f"call to {expr.name!r} cannot be lowered inside a codelet "
+            f"(spectrum calls are resolved by the synthesizer)",
+            expr.span,
+        )
+
+    def _compile_method_call(self, expr: ast.MethodCall):
+        if not isinstance(expr.obj, ast.Ident):
+            raise LoweringError("unsupported method receiver", expr.span)
+        slot = self._lookup(expr.obj.name, expr.span)
+        if isinstance(slot, _VectorSlot):
+            return self._compile_vector_method(expr)
+        if isinstance(slot, _ContainerSlot):
+            if expr.method == "Size":
+                return slot.binding.size
+            if expr.method == "Stride":
+                stride = getattr(slot.binding, "stride", 1)
+                return Imm(stride) if isinstance(stride, int) else stride
+            raise LoweringError(
+                f"container method {expr.method!r} cannot be lowered", expr.span
+            )
+        raise LoweringError(
+            f"{expr.obj.name!r} has no lowerable methods", expr.span
+        )
+
+    def _compile_vector_method(self, expr: ast.MethodCall):
+        method = expr.method
+        if method == "ThreadId":
+            return self._special("tid")
+        if method == "LaneId":
+            return self._special("laneid")
+        if method == "VectorId":
+            return self._special("warpid")
+        if method in ("MaxSize", "Size"):
+            # Size() maps to warpSize, exactly as in Figure 2's table.
+            return Imm(WARP_SIZE)
+        raise LoweringError(f"unknown Vector method {method!r}", expr.span)
+
+    def _compile_index(self, expr: ast.Index):
+        if not isinstance(expr.base, ast.Ident):
+            raise LoweringError("unsupported indexing base", expr.span)
+        slot = self._lookup(expr.base.name, expr.span)
+        if isinstance(slot, _ContainerSlot):
+            return slot.binding.load(self, expr.index)
+        if isinstance(slot, _SharedArraySlot):
+            idx = self.compile_expr(expr.index)
+            return self.builder.ld_shared(slot.buf, idx)
+        raise LoweringError(f"{expr.base.name!r} is not indexable", expr.span)
+
+    def _compile_shuffle(self, expr: ast.WarpShuffle):
+        value = self._as_reg(self.compile_expr(expr.value))
+        offset = self.compile_expr(expr.offset)
+        mode = expr.direction
+        return self.builder.shfl(value, mode, offset, width=expr.width)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _as_reg(self, operand) -> Reg:
+        if isinstance(operand, Reg):
+            return operand
+        return self.builder.mov(operand)
+
+    def _lookup(self, name: str, span):
+        slot = self.env.get(name)
+        if slot is None:
+            raise LoweringError(f"unknown variable {name!r} in lowering", span)
+        return slot
+
+    def _static_eval(self, expr: ast.Expr) -> int:
+        """Compile-time evaluation for shared-array dimensions."""
+        if isinstance(expr, ast.IntLiteral):
+            return expr.value
+        if isinstance(expr, ast.Binary):
+            lhs = self._static_eval(expr.lhs)
+            rhs = self._static_eval(expr.rhs)
+            return _fold_int(expr.op, lhs, rhs, expr.span)
+        if isinstance(expr, ast.MethodCall) and isinstance(expr.obj, ast.Ident):
+            slot = self.env.get(expr.obj.name)
+            if isinstance(slot, _VectorSlot) and expr.method in ("MaxSize", "Size"):
+                return WARP_SIZE
+            if isinstance(slot, _ContainerSlot) and expr.method == "Size":
+                bound = slot.binding.size_static
+                if bound is None:
+                    raise LoweringError(
+                        "shared array sized by in.Size() needs a static bound",
+                        expr.span,
+                    )
+                return bound
+        raise LoweringError(
+            "shared array dimension is not a compile-time constant", expr.span
+        )
+
+
+def _fold_int(op: str, lhs: int, rhs: int, span) -> int:
+    if op == "+":
+        return lhs + rhs
+    if op == "-":
+        return lhs - rhs
+    if op == "*":
+        return lhs * rhs
+    if op == "/":
+        if rhs == 0:
+            raise LoweringError("division by zero in shared dimension", span)
+        return lhs // rhs
+    if op == "%":
+        return lhs % rhs
+    raise LoweringError(f"cannot fold operator {op!r} at compile time", span)
+
+
+def _touches_memory(expr: ast.Expr) -> bool:
+    """Whether evaluating the expression may access memory."""
+    return any(isinstance(node, ast.Index) for node in ast.walk(expr))
+
+
+def _declares_vector(codelet: ast.Codelet) -> bool:
+    return any(
+        isinstance(node, ast.VarDecl) and str(node.declared_type) == "Vector"
+        for node in ast.walk(codelet)
+    )

@@ -1,0 +1,436 @@
+"""CUDA C source emission (the paper's Listings 1–4).
+
+The emitter renders transformed codelet ASTs as CUDA C so that the
+effect of each AST pass is visible in the generated source:
+
+* :func:`emit_coop_kernel` — a ``Reduce_Block`` ``__global__`` kernel
+  from a cooperative codelet variant. The shared-atomic pass shows up as
+  ``atomicAdd(&partial, val)`` (Listing 3), the shuffle pass as
+  ``__shfl_down(val, offset, 32)`` with the disabled ``tmp`` array gone
+  (Listing 4).
+* :func:`emit_compound_pair` — the Listing 1 / Listing 2 pair for a
+  compound codelet: the non-atomic version allocates a partials array
+  and keeps the second spectrum call; the atomic version allocates a
+  single accumulator and uses ``atomicAdd_block`` / ``atomicAdd``.
+* :func:`emit_version` — a full program for one Figure 6 version.
+
+Identifier conventions follow the listings: the kernel signature is
+``(Return, input_x, SourceSize, ObjectSize)``; ``vthread.ThreadId()``
+renders as ``threadIdx.x``, ``LaneId()`` as ``threadIdx.x % warpSize``,
+``VectorId()`` as ``threadIdx.x / warpSize`` (Figure 2's table).
+"""
+
+from __future__ import annotations
+
+from ..core.pipeline import CoopVariant, PreprocessResult
+from ..core.sources import identity_literal
+from ..core.variants import Version, fig6_label
+from ..lang import ast
+from ..lang.errors import LoweringError
+
+_ATOMIC_FN = {"add": "atomicAdd", "sub": "atomicSub", "max": "atomicMax", "min": "atomicMin"}
+
+_PRECEDENCE = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+
+class CudaEmitter:
+    """Stateful expression/statement renderer for one codelet."""
+
+    def __init__(self, ctype: str = "float", input_name: str = "input_x"):
+        self.ctype = ctype
+        self.input_name = input_name
+        self.vector_name = None
+        self.container_name = None
+        self.shared_dynamic = set()  # arrays sized by in.Size() -> extern
+
+    # -- expressions ------------------------------------------------------
+
+    def expr(self, node: ast.Expr, parent_prec: int = 0) -> str:
+        text, prec = self._expr(node)
+        if prec < parent_prec:
+            return f"({text})"
+        return text
+
+    def _expr(self, node: ast.Expr):
+        if isinstance(node, ast.IntLiteral):
+            return str(node.value) + ("u" if node.unsigned else ""), 99
+        if isinstance(node, ast.FloatLiteral):
+            suffix = "f" if node.single else ""
+            return f"{node.value!r}{suffix}", 99
+        if isinstance(node, ast.BoolLiteral):
+            return ("true" if node.value else "false"), 99
+        if isinstance(node, ast.Ident):
+            return node.name, 99
+        if isinstance(node, ast.Unary):
+            inner = self.expr(node.operand, 11)
+            return f"{node.op}{inner}", 11
+        if isinstance(node, ast.Binary):
+            prec = _PRECEDENCE[node.op]
+            lhs = self.expr(node.lhs, prec)
+            rhs = self.expr(node.rhs, prec + 1)
+            return f"{lhs} {node.op} {rhs}", prec
+        if isinstance(node, ast.Ternary):
+            cond = self.expr(node.cond, 1)
+            cond = self._augment_bounds_guard(cond, node.then)
+            then = self.expr(node.then, 0)
+            otherwise = self.expr(node.otherwise, 0)
+            return f"({cond}) ? {then} : {otherwise}", 0
+        if isinstance(node, ast.Call):
+            args = ", ".join(self.expr(a) for a in node.args)
+            return f"{node.name}({args})", 99
+        if isinstance(node, ast.MethodCall):
+            return self._method(node), 99
+        if isinstance(node, ast.Index):
+            return self._index(node), 99
+        if isinstance(node, ast.WarpShuffle):
+            fn = "__shfl_down" if node.direction == "down" else "__shfl_up"
+            value = self.expr(node.value)
+            offset = self.expr(node.offset)
+            return f"{fn}({value}, {offset}, {node.width})", 99
+        raise LoweringError(f"cannot emit {type(node).__name__} as CUDA")
+
+    def _method(self, node: ast.MethodCall) -> str:
+        obj = node.obj.name if isinstance(node.obj, ast.Ident) else None
+        if obj == self.vector_name:
+            return {
+                "ThreadId": "threadIdx.x",
+                "LaneId": "threadIdx.x % warpSize",
+                "VectorId": "threadIdx.x / warpSize",
+                "MaxSize": "32",
+                "Size": "warpSize",
+            }[node.method]
+        if obj == self.container_name:
+            if node.method == "Size":
+                return "ObjectSize"
+            if node.method == "Stride":
+                return "1"
+        raise LoweringError(f"cannot emit method {node.method!r} as CUDA")
+
+    def _index(self, node: ast.Index) -> str:
+        base = node.base.name if isinstance(node.base, ast.Ident) else None
+        idx = self.expr(node.index)
+        if base == self.container_name:
+            return f"{self.input_name}[blockIdx.x * blockDim.x + {idx}]"
+        return f"{base}[{idx}]"
+
+    def _augment_bounds_guard(self, cond: str, then: ast.Expr) -> str:
+        """Listing 3 lines 13-14: reads of the block's input slice also
+        guard against the end of the whole array (SourceSize)."""
+        reads_input = any(
+            isinstance(sub, ast.Index)
+            and isinstance(sub.base, ast.Ident)
+            and sub.base.name == self.container_name
+            for sub in ast.walk(then)
+        )
+        if not reads_input:
+            return cond
+        return (
+            f"(({cond})) && "
+            f"((blockIdx.x * blockDim.x + threadIdx.x) < SourceSize)"
+        )
+
+    # -- statements --------------------------------------------------------
+
+    def stmt(self, node: ast.Stmt, indent: int) -> list:
+        pad = "  " * indent
+        if isinstance(node, ast.VarDecl):
+            return self._var_decl(node, indent)
+        if isinstance(node, ast.Assign):
+            target = self.expr(node.target)
+            value = self.expr(node.value)
+            return [f"{pad}{target} {node.op} {value};"]
+        if isinstance(node, ast.AtomicUpdate):
+            fn = _ATOMIC_FN[node.op]
+            if node.scope == "block":
+                fn += "_block"
+            target = self.expr(node.target)
+            value = self.expr(node.value)
+            return [f"{pad}{fn}(&{target}, {value});"]
+        if isinstance(node, ast.ExprStmt):
+            return [f"{pad}{self.expr(node.expr)};"]
+        if isinstance(node, ast.If):
+            lines = [f"{pad}if ({self.expr(node.cond)}) {{"]
+            lines += self.block(node.then, indent + 1)
+            if node.otherwise is not None:
+                lines.append(f"{pad}}} else {{")
+                lines += self.block(node.otherwise, indent + 1)
+            lines.append(f"{pad}}}")
+            return lines
+        if isinstance(node, ast.For):
+            init = self._inline_stmt(node.init)
+            cond = self.expr(node.cond) if node.cond is not None else ""
+            step = self._inline_stmt(node.step)
+            lines = [f"{pad}for ({init}; {cond}; {step}) {{"]
+            lines += self.block(node.body, indent + 1)
+            lines.append(f"{pad}}}")
+            return lines
+        if isinstance(node, ast.While):
+            lines = [f"{pad}while ({self.expr(node.cond)}) {{"]
+            lines += self.block(node.body, indent + 1)
+            lines.append(f"{pad}}}")
+            return lines
+        if isinstance(node, ast.Return):
+            if node.value is None:
+                return [f"{pad}return;"]
+            return [f"{pad}return {self.expr(node.value)};"]
+        if isinstance(node, ast.Block):
+            return self.block(node, indent)
+        raise LoweringError(f"cannot emit statement {type(node).__name__}")
+
+    def _inline_stmt(self, node) -> str:
+        if node is None:
+            return ""
+        if isinstance(node, ast.VarDecl):
+            init = f" = {self.expr(node.init)}" if node.init is not None else ""
+            return f"{node.declared_type} {node.name}{init}"
+        if isinstance(node, ast.Assign):
+            return f"{self.expr(node.target)} {node.op} {self.expr(node.value)}"
+        raise LoweringError("unsupported inline statement")
+
+    def block(self, node: ast.Block, indent: int) -> list:
+        lines = []
+        for stmt in node.stmts:
+            lines += self.stmt(stmt, indent)
+            if _writes_shared(stmt):
+                _append_sync(lines, indent)
+        return lines
+
+    def _var_decl(self, node: ast.VarDecl, indent: int) -> list:
+        pad = "  " * indent
+        if str(node.declared_type) == "Vector":
+            return [f"{pad}// Vector {node.name} -> SIMT thread group"]
+        if node.shared:
+            return self._shared_decl(node, indent)
+        init = f" = {self.expr(node.init)}" if node.init is not None else ""
+        return [f"{pad}{node.declared_type} {node.name}{init};"]
+
+    def _shared_decl(self, node: ast.VarDecl, indent: int) -> list:
+        pad = "  " * indent
+        lines = []
+        if not node.dims:
+            # single shared accumulator (Listing 3 lines 5-8)
+            lines.append(f"{pad}__shared__ {node.declared_type} {node.name};")
+            lines.append(f"{pad}if (threadIdx.x == 0)")
+            lines.append(f"{pad}  {node.name} = {self._identity(node)};")
+            lines.append(f"{pad}__syncthreads();")
+            return lines
+        dim = node.dims[0]
+        if _is_static_dim(dim):
+            size = self.expr(dim)
+            lines.append(
+                f"{pad}__shared__ {node.declared_type} {node.name}[{size}];"
+            )
+            lines.append(f"{pad}if (threadIdx.x < {size})")
+        else:
+            # dynamically sized by in.Size() -> extern (Listing 3 line 9)
+            self.shared_dynamic.add(node.name)
+            lines.append(
+                f"{pad}extern __shared__ {node.declared_type} {node.name}[];"
+            )
+            lines.append(f"{pad}if (threadIdx.x < ObjectSize)")
+        lines.append(f"{pad}  {node.name}[threadIdx.x] = {self._identity(node)};")
+        lines.append(f"{pad}__syncthreads();")
+        return lines
+
+    def _identity(self, node: ast.VarDecl) -> str:
+        op = node.atomic or "add"
+        try:
+            return identity_literal(op, str(node.declared_type))
+        except ValueError:
+            return "0"
+
+
+def _append_sync(lines: list, indent: int) -> None:
+    """Append ``__syncthreads()`` unless the previous line already is one."""
+    if lines and lines[-1].strip() == "__syncthreads();":
+        return
+    lines.append("  " * indent + "__syncthreads();")
+
+
+def _is_static_dim(dim: ast.Expr) -> bool:
+    """MaxSize()-sized arrays are static; in.Size()-sized are dynamic."""
+    return not any(
+        isinstance(node, ast.MethodCall) and node.method == "Size"
+        for node in ast.walk(dim)
+    )
+
+
+def _writes_shared(stmt: ast.Stmt) -> bool:
+    """Conservative: statement contains a write to a shared variable.
+
+    The emitter mirrors the lowering's barrier-insertion rule, which in
+    turn mirrors the ``__syncthreads()`` placement of Listings 3 and 4.
+    """
+    if isinstance(stmt, (ast.If, ast.For, ast.While, ast.Block)):
+        children = []
+        if isinstance(stmt, ast.Block):
+            children = stmt.stmts
+        elif isinstance(stmt, ast.While):
+            children = stmt.body.stmts
+        elif isinstance(stmt, ast.For):
+            children = stmt.body.stmts
+        else:
+            children = stmt.then.stmts + (
+                stmt.otherwise.stmts if stmt.otherwise else []
+            )
+        return any(_writes_shared(s) for s in children)
+    if isinstance(stmt, ast.AtomicUpdate):
+        return True
+    if isinstance(stmt, ast.Assign):
+        target = stmt.target
+        names = set()
+        if isinstance(target, ast.Ident):
+            names.add(target.name)
+        if isinstance(target, ast.Index) and isinstance(target.base, ast.Ident):
+            names.add(target.base.name)
+        return bool(names & _SHARED_NAMES.get())
+    return False
+
+
+class _SharedNames:
+    """Per-emission set of shared variable names (module-level helper)."""
+
+    def __init__(self):
+        self._names = set()
+
+    def set(self, names):
+        self._names = set(names)
+
+    def get(self):
+        return self._names
+
+
+_SHARED_NAMES = _SharedNames()
+
+
+def emit_coop_kernel(
+    variant: CoopVariant,
+    op: str = "add",
+    ctype: str = "float",
+    kernel_name: str = None,
+) -> str:
+    """Render a cooperative codelet variant as a ``__global__`` kernel
+    (the shape of Listings 3 and 4)."""
+    codelet = variant.codelet
+    emitter = CudaEmitter(ctype=ctype)
+    emitter.container_name = codelet.params[0].name
+    for node in ast.walk(codelet):
+        if isinstance(node, ast.VarDecl) and str(node.declared_type) == "Vector":
+            emitter.vector_name = node.name
+    _SHARED_NAMES.set(
+        node.name
+        for node in ast.walk(codelet)
+        if isinstance(node, ast.VarDecl) and node.shared
+    )
+
+    name = kernel_name or f"Reduce_Block_{variant.key}"
+    lines = [
+        "__global__",
+        f"void {name}({ctype} *Return, {ctype} *{emitter.input_name}, "
+        f"int SourceSize, int ObjectSize) {{",
+        "  unsigned int blockID = blockIdx.x;",
+    ]
+    body_lines = []
+    ret_expr = None
+    for stmt in codelet.body.stmts:
+        if isinstance(stmt, ast.Return):
+            ret_expr = emitter.expr(stmt.value)
+            continue
+        body_lines += emitter.stmt(stmt, 1)
+        if _writes_shared(stmt):
+            _append_sync(body_lines, 1)
+    lines += body_lines
+    if ret_expr is None:
+        raise LoweringError("cooperative codelet has no return")
+    lines.append("  if (threadIdx.x == 0)")
+    lines.append(f"    Return[blockID] = {ret_expr};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def emit_compound_pair(pre: PreprocessResult, pattern: str = "tile") -> dict:
+    """The Listing 1 / Listing 2 pair for a compound codelet."""
+    compound = pre.compound[pattern]
+    ctype = "float"
+    op = pre.reduction_op
+    atomic_fn = _ATOMIC_FN[op]
+    non_atomic = _emit_grid_code(ctype, atomic=False, atomic_fn=atomic_fn)
+    atomic = _emit_grid_code(ctype, atomic=True, atomic_fn=atomic_fn)
+    return {
+        "non_atomic": non_atomic,
+        "atomic": atomic,
+        "pattern": compound.pattern,
+        "spectrum_disabled": compound.atomic.spectrum_disabled,
+    }
+
+
+def _emit_grid_code(ctype: str, atomic: bool, atomic_fn: str) -> str:
+    """Host + device scaffolding following Listings 1 and 2."""
+    if atomic:
+        thread_tail = f"  {atomic_fn}_block(Return, accum);"
+        alloc_block = "    map_return = new {t}[1];".format(t=ctype)
+        block_tail = f"    {atomic_fn}(Return, map_return[0]);"
+        grid_alloc = f"  cudaMalloc(&map_return_block, sizeof({ctype}));"
+    else:
+        thread_tail = "  Return[threadIdx.x] = accum;"
+        alloc_block = "    map_return = new {t}[p];".format(t=ctype)
+        block_tail = "    Return[blockIdx.x] = Reduce_Partials(map_return, p);"
+        grid_alloc = (
+            f"  cudaMalloc(&map_return_block, (p) * sizeof({ctype}));"
+        )
+    return f"""__inline__ __device__
+void Reduce_Thread({ctype} *Return, {ctype} *input_x, int Count, int Stride) {{
+  {ctype} accum = 0;
+  for (int idx = 0; idx < Count; idx += 1)
+    accum += input_x[idx * Stride];
+{thread_tail}
+}}
+
+__global__
+void Reduce_Block({ctype} *Return, {ctype} *input_x, int SourceSize) {{
+  int p = blockDim.x;
+  __shared__ {ctype} *map_return;
+  if (threadIdx.x == 0)
+{alloc_block}
+  __syncthreads();
+  Reduce_Thread(map_return, input_x + blockIdx.x * blockDim.x, SourceSize, 1);
+  __syncthreads();
+  if (threadIdx.x == 0)
+{block_tail}
+}}
+
+template <unsigned int TGM_TEMPLATE_0>
+{ctype} Reduce_Grid({ctype} *input_x, int SourceSize) {{
+  int p = TGM_TEMPLATE_0;
+  {ctype} *map_return_block;
+{grid_alloc}
+  Reduce_Block<<<p, 256>>>(map_return_block, input_x, SourceSize);
+  return Collect(map_return_block);
+}}
+"""
+
+
+def emit_version(pre: PreprocessResult, version: Version) -> str:
+    """Full CUDA program text for one Figure 6 version."""
+    label = fig6_label(version)
+    header = [
+        f"// Tangram-synthesized parallel reduction",
+        f"// version: {version.identifier}"
+        + (f"  (Figure 6 ({label}))" if label else ""),
+        f"// reduction op: {pre.reduction_op}",
+        "",
+    ]
+    parts = []
+    coop = pre.coop_variant(version.combine)
+    parts.append(emit_coop_kernel(coop, op=pre.reduction_op))
+    if version.block_kind == "compound":
+        pair = emit_compound_pair(pre, version.block_pattern)
+        parts.append(pair["atomic" if version.uses_global_atomic else "non_atomic"])
+    return "\n".join(header) + "\n\n".join(parts) + "\n"

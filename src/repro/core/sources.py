@@ -1,0 +1,210 @@
+"""The parallel-reduction DSL library (the paper's Figures 1 and 3).
+
+One spectrum named ``reduce`` is generated per (reduction op, element
+type). Its codelets are exactly the paper's:
+
+* ``scalar``     — atomic autonomous serial reduction, Figure 1(a);
+* ``tile``       — compound codelet with a tiled access pattern and the
+  Map global-atomic API, Figure 1(b);
+* ``stride``     — same compound codelet with a strided access pattern;
+* ``coop_tree``  — cooperative tree-based summation (V), Figure 1(c);
+* ``shared_v1``  — single shared atomic accumulator (VA1), Figure 3(a);
+* ``shared_v2``  — two-step shared atomic (VA2), Figure 3(b).
+
+The shuffle variants (VS, VA2S) are *not* written here: the warp-shuffle
+AST pass derives them from ``coop_tree`` and ``shared_v2`` automatically
+(Section III-C: "without requiring manual source code modification").
+
+Non-``add`` reductions pad with the op's identity instead of ``0`` (the
+paper only evaluates sums; padding with the identity keeps max/min
+correct for negative inputs).
+"""
+
+from __future__ import annotations
+
+from ..lang import AnalyzedProgram, analyze_source
+
+#: Reduction operators supported by the Map atomic API (Section III-A).
+REDUCTION_OPS = ("add", "sub", "max", "min")
+
+#: Ops with full DSL codelet libraries (associative reductions).
+LIBRARY_OPS = ("add", "max", "min")
+
+_IDENTITY = {
+    ("add", "float"): "0.0f",
+    ("max", "float"): "-3.402823e38f",
+    ("min", "float"): "3.402823e38f",
+    ("add", "int"): "0",
+    ("max", "int"): "-2147483647",
+    ("min", "int"): "2147483647",
+}
+
+_ATOMIC_API = {"add": "atomicAdd", "sub": "atomicSub", "max": "atomicMax", "min": "atomicMin"}
+_ATOMIC_QUALIFIER = {"add": "_atomicAdd", "sub": "_atomicSub", "max": "_atomicMax", "min": "_atomicMin"}
+
+
+def identity_literal(op: str, ctype: str) -> str:
+    key = (op, ctype)
+    if key not in _IDENTITY:
+        raise ValueError(f"no identity for op={op!r}, ctype={ctype!r}")
+    return _IDENTITY[key]
+
+
+def identity_value(op: str, ctype: str = "float"):
+    """Numeric identity used for device-buffer initialization."""
+    if ctype not in ("float", "int"):
+        raise ValueError(f"ctype must be 'float' or 'int', got {ctype!r}")
+    if op in ("add", "sub"):
+        return 0.0 if ctype == "float" else 0
+    if op == "max":
+        return -3.402823e38 if ctype == "float" else -2147483647
+    if op == "min":
+        return 3.402823e38 if ctype == "float" else 2147483647
+    raise ValueError(f"unknown reduction op {op!r}")
+
+
+def _accumulate(op: str, target: str, value: str) -> str:
+    """The serial accumulate statement for one element."""
+    if op == "add":
+        return f"{target} += {value};"
+    if op == "sub":
+        return f"{target} -= {value};"
+    if op in ("max", "min"):
+        return f"{target} = {op}({target}, {value});"
+    raise ValueError(f"unknown reduction op {op!r}")
+
+
+def _combine(op: str, target: str, value: str) -> str:
+    """The tree-step combine statement (same shape the paper uses)."""
+    return _accumulate(op, target, value)
+
+
+def reduction_source(op: str = "add", ctype: str = "float") -> str:
+    """DSL source text for the full ``reduce`` spectrum."""
+    if op not in LIBRARY_OPS:
+        raise ValueError(
+            f"DSL codelet library supports {LIBRARY_OPS}; op {op!r} is only "
+            f"available through the Map atomic API"
+        )
+    if ctype not in ("float", "int"):
+        raise ValueError(f"ctype must be 'float' or 'int', got {ctype!r}")
+    ident = identity_literal(op, ctype)
+    api = _ATOMIC_API[op]
+    qualifier = _ATOMIC_QUALIFIER[op]
+    acc = _accumulate(op, "accum", "in[idx]")
+    tree_read = f"(vthread.LaneId() + offset < vthread.Size()) ? tmp[vthread.ThreadId() + offset] : {ident}"
+    tree_step = _combine(op, "val", f"{tree_read}")
+    partial_read = (
+        f"(vthread.LaneId() + offset < vthread.Size()) ? "
+        f"partial[vthread.ThreadId() + offset] : {ident}"
+    )
+    partial_step = _combine(op, "val", f"{partial_read}")
+
+    return f"""
+// ---- Figure 1(a): atomic autonomous serial reduction -------------------
+__codelet __tag(scalar)
+{ctype} reduce(const Array<1,{ctype}> in) {{
+  unsigned len = in.Size();
+  {ctype} accum = {ident};
+  for (unsigned idx = 0; idx < len; idx += 1) {{
+    {acc}
+  }}
+  return accum;
+}}
+
+// ---- Figure 1(b), tiled: compound codelet + Map atomic API --------------
+__codelet __tag(tile)
+{ctype} reduce(const Array<1,{ctype}> in) {{
+  __tunable unsigned p;
+  unsigned len = in.Size();
+  unsigned tile = (len + p - 1) / p;
+  Sequence start(i * tile);
+  Sequence inc(1);
+  Sequence end(min((i + 1) * tile, len));
+  Map map(reduce, partition(in, p, start, inc, end));
+  map.{api}();
+  return reduce(map);
+}}
+
+// ---- Figure 1(b), strided: compound codelet + Map atomic API ------------
+__codelet __tag(stride)
+{ctype} reduce(const Array<1,{ctype}> in) {{
+  __tunable unsigned p;
+  unsigned len = in.Size();
+  Sequence start(i);
+  Sequence inc(p);
+  Sequence end(len);
+  Map map(reduce, partition(in, p, start, inc, end));
+  map.{api}();
+  return reduce(map);
+}}
+
+// ---- Figure 1(c): cooperative tree-based reduction (V) -------------------
+__codelet __coop __tag(coop_tree)
+{ctype} reduce(const Array<1,{ctype}> in) {{
+  Vector vthread();
+  __shared {ctype} partial[vthread.MaxSize()];
+  __shared {ctype} tmp[in.Size()];
+  {ctype} val = {ident};
+  val = (vthread.ThreadId() < in.Size()) ? in[vthread.ThreadId()] : {ident};
+  tmp[vthread.ThreadId()] = val;
+  for (int offset = vthread.MaxSize() / 2; offset > 0; offset /= 2) {{
+    {tree_step}
+    tmp[vthread.ThreadId()] = val;
+  }}
+  if (in.Size() != vthread.MaxSize() && in.Size() / vthread.MaxSize() > 0) {{
+    if (vthread.LaneId() == 0) {{
+      partial[vthread.VectorId()] = val;
+    }}
+    if (vthread.VectorId() == 0) {{
+      val = (vthread.ThreadId() <= (in.Size() / vthread.MaxSize())) ? partial[vthread.LaneId()] : {ident};
+      for (int offset = vthread.MaxSize() / 2; offset > 0; offset /= 2) {{
+        {partial_step}
+        partial[vthread.ThreadId()] = val;
+      }}
+    }}
+  }}
+  return val;
+}}
+
+// ---- Figure 3(a): single shared atomic accumulator (VA1) -----------------
+__codelet __coop __tag(shared_v1)
+{ctype} reduce(const Array<1,{ctype}> in) {{
+  Vector vthread();
+  __shared {qualifier} {ctype} tmp;
+  {ctype} val = {ident};
+  val = (vthread.ThreadId() < in.Size()) ? in[vthread.ThreadId()] : {ident};
+  tmp = val;
+  return tmp;
+}}
+
+// ---- Figure 3(b): two-step shared atomic (VA2) ----------------------------
+__codelet __coop __tag(shared_v2)
+{ctype} reduce(const Array<1,{ctype}> in) {{
+  Vector vthread();
+  __shared {qualifier} {ctype} partial;
+  __shared {ctype} tmp[in.Size()];
+  {ctype} val = {ident};
+  val = (vthread.ThreadId() < in.Size()) ? in[vthread.ThreadId()] : {ident};
+  tmp[vthread.ThreadId()] = val;
+  for (int offset = vthread.MaxSize() / 2; offset > 0; offset /= 2) {{
+    {tree_step}
+    tmp[vthread.ThreadId()] = val;
+  }}
+  if (in.Size() != vthread.MaxSize() && in.Size() / vthread.MaxSize() > 0) {{
+    if (vthread.LaneId() == 0) {{
+      partial = val;
+    }}
+    if (vthread.VectorId() == 0) {{
+      val = partial;
+    }}
+  }}
+  return val;
+}}
+"""
+
+
+def load_reduction_program(op: str = "add", ctype: str = "float") -> AnalyzedProgram:
+    """Parse + analyze the reduction spectrum for one (op, element type)."""
+    text = reduction_source(op=op, ctype=ctype)
+    return analyze_source(text, name=f"reduce_{op}_{ctype}.tgm")

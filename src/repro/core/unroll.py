@@ -1,0 +1,192 @@
+"""AST pass: loop unrolling (the future-work item of Section III-A,
+citing optimal GPGPU loop unrolling [34]).
+
+"We can use similar pre-processing steps with AST passes to enable other
+advanced optimizations, such as loop unrolling [34]. We leave them for
+future work."
+
+This pass unrolls ``for`` loops whose trip count is statically known —
+in the reduction codelets, the tree/shuffle loops
+``for (offset = MaxSize()/2; offset > 0; offset /= 2)`` have exactly 5
+iterations. Each iteration's body is cloned with the iterator replaced
+by its constant value, removing per-iteration condition/step overhead
+(and, downstream, the VIR loop machinery).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lang import ast
+
+#: Loops longer than this are left rolled (code-size guard).
+MAX_UNROLL = 64
+
+_WARP = 32
+
+
+@dataclass
+class UnrollResult:
+    codelet: ast.Codelet
+    loops_unrolled: int = 0
+    iterations_expanded: int = 0
+
+
+def _static_value(expr: ast.Expr, vector: str = None):
+    """Evaluate compile-time-constant integer expressions.
+
+    ``Vector.MaxSize()``/``Size()`` are the warp size, as in Figure 2 —
+    but only on the codelet's Vector object; ``in.Size()`` is runtime.
+    """
+    if isinstance(expr, ast.IntLiteral):
+        return expr.value
+    if (
+        isinstance(expr, ast.MethodCall)
+        and expr.method in ("MaxSize", "Size")
+        and isinstance(expr.obj, ast.Ident)
+        and expr.obj.name == vector
+    ):
+        return _WARP
+    if isinstance(expr, ast.Unary) and expr.op == "-":
+        inner = _static_value(expr.operand, vector)
+        return None if inner is None else -inner
+    if isinstance(expr, ast.Binary):
+        lhs = _static_value(expr.lhs, vector)
+        rhs = _static_value(expr.rhs, vector)
+        if lhs is None or rhs is None:
+            return None
+        if expr.op == "+":
+            return lhs + rhs
+        if expr.op == "-":
+            return lhs - rhs
+        if expr.op == "*":
+            return lhs * rhs
+        if expr.op == "/" and rhs != 0:
+            return lhs // rhs
+        if expr.op == "%" and rhs != 0:
+            return lhs % rhs
+        return None
+    return None
+
+
+def _trip_values(loop: ast.For, vector: str = None):
+    """Iterator values per iteration, or ``None`` if not static."""
+    init = loop.init
+    if not (isinstance(init, ast.VarDecl) and init.init is not None):
+        return None, None
+    iterator = init.name
+    value = _static_value(init.init, vector)
+    if value is None:
+        return None, None
+    cond = loop.cond
+    if not (
+        isinstance(cond, ast.Binary)
+        and isinstance(cond.lhs, ast.Ident)
+        and cond.lhs.name == iterator
+    ):
+        return None, None
+    bound = _static_value(cond.rhs, vector)
+    if bound is None or cond.op not in ("<", "<=", ">", ">="):
+        return None, None
+    step = loop.step
+    if not (
+        isinstance(step, ast.Assign)
+        and isinstance(step.target, ast.Ident)
+        and step.target.name == iterator
+    ):
+        return None, None
+    delta = _static_value(step.value, vector)
+    if delta is None:
+        return None, None
+
+    values = []
+    current = value
+    for _ in range(MAX_UNROLL + 1):
+        if cond.op == "<" and not current < bound:
+            break
+        if cond.op == "<=" and not current <= bound:
+            break
+        if cond.op == ">" and not current > bound:
+            break
+        if cond.op == ">=" and not current >= bound:
+            break
+        values.append(current)
+        if step.op == "+=":
+            current += delta
+        elif step.op == "-=":
+            current -= delta
+        elif step.op == "*=" and delta > 1:
+            current *= delta
+        elif step.op == "/=" and delta > 1:
+            current //= delta
+        elif step.op == ">>=" and delta >= 1:
+            current >>= delta
+        else:
+            return None, None
+    if len(values) > MAX_UNROLL or not values:
+        return None, None
+    return iterator, values
+
+
+class _IteratorSubstituter(ast.NodeTransformer):
+    def __init__(self, name: str, value: int):
+        self.name = name
+        self.value = value
+
+    def visit_Ident(self, node: ast.Ident):
+        if node.name == self.name:
+            return ast.IntLiteral(value=self.value, span=node.span)
+        return node
+
+
+def _body_modifies(loop: ast.For, iterator: str) -> bool:
+    for node in ast.walk(loop.body):
+        if (
+            isinstance(node, ast.Assign)
+            and isinstance(node.target, ast.Ident)
+            and node.target.name == iterator
+        ):
+            return True
+        if isinstance(node, ast.VarDecl) and node.name == iterator:
+            return True  # shadowing — bail out conservatively
+    return False
+
+
+class _Unroller(ast.NodeTransformer):
+    def __init__(self, vector: str = None):
+        self.vector = vector
+        self.loops = 0
+        self.iterations = 0
+
+    def visit_For(self, node: ast.For):
+        self.generic_visit(node)  # unroll inner loops first
+        iterator, values = _trip_values(node, self.vector)
+        if iterator is None or _body_modifies(node, iterator):
+            return node
+        statements = []
+        for value in values:
+            clone = node.body.clone()
+            _IteratorSubstituter(iterator, value).visit(clone)
+            statements.extend(clone.stmts)
+        self.loops += 1
+        self.iterations += len(values)
+        return statements
+
+
+def _find_vector_name(codelet: ast.Codelet):
+    for node in ast.walk(codelet):
+        if isinstance(node, ast.VarDecl) and str(node.declared_type) == "Vector":
+            return node.name
+    return None
+
+
+def apply_unroll(codelet: ast.Codelet) -> UnrollResult:
+    """Return a transformed **clone** with static loops fully unrolled."""
+    clone = codelet.clone()
+    unroller = _Unroller(vector=_find_vector_name(clone))
+    unroller.visit(clone)
+    return UnrollResult(
+        codelet=clone,
+        loops_unrolled=unroller.loops,
+        iterations_expanded=unroller.iterations,
+    )

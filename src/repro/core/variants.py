@@ -1,0 +1,214 @@
+"""Code-version enumeration and the Figure 6 catalog.
+
+A *version* composes codelets across the GPU software hierarchy
+(Section IV-B):
+
+* **grid level** — a distribute codelet (tiled or strided access
+  pattern) whose per-block partials are combined either with a global
+  atomic (``DT,A`` / ``DS,A``) or by launching a second kernel;
+* **block level** — either a cooperative codelet
+  (V / VS / VA1 / VA2 / VA2S) processing one block's elements directly,
+  or a compound codelet distributing to threads (tiled or strided) with
+  a serial scalar codelet per thread;
+* **thread level** — the scalar codelet (compound block only), whose
+  per-thread partials are combined by one of the cooperative codelets.
+
+Enumerating all compositions gives **60** versions; the paper reports 89
+(its enumeration includes compositions internal to Tangram we do not
+model — see EXPERIMENTS.md). Applying the paper's pruning rule — drop
+every version that needs a second kernel launch for per-block partials —
+leaves exactly **30** versions, all using global atomics for the final
+combine, matching the paper's pruned count.
+
+The 16 versions of Figure 6 are pinned as labels ``a``–``p``; the
+paper's 8 best-performing versions are ``{a, b, c, e, k, m, n, p}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lang.errors import SynthesisError
+from .pipeline import COOP_KEYS, EXTENSION_COOP_KEYS
+
+ALL_COOP_KEYS = COOP_KEYS + EXTENSION_COOP_KEYS
+
+GRID_PATTERNS = ("tile", "stride")
+FINAL_COMBINES = ("global_atomic", "second_kernel")
+BLOCK_PATTERNS = ("tile", "stride")
+
+
+@dataclass(frozen=True)
+class Version:
+    """One synthesizable code version (a column of Figure 6)."""
+
+    grid_pattern: str  # tile | stride
+    final_combine: str  # global_atomic | second_kernel
+    block_kind: str  # coop | compound
+    combine: str  # coop key: block codelet (coop) or partials combiner
+    block_pattern: str = None  # tile | stride, compound only
+
+    def __post_init__(self):
+        if self.grid_pattern not in GRID_PATTERNS:
+            raise SynthesisError(f"bad grid pattern {self.grid_pattern!r}")
+        if self.final_combine not in FINAL_COMBINES:
+            raise SynthesisError(f"bad final combine {self.final_combine!r}")
+        if self.combine not in ALL_COOP_KEYS:
+            raise SynthesisError(f"bad cooperative key {self.combine!r}")
+        if self.block_kind == "compound":
+            if self.block_pattern not in BLOCK_PATTERNS:
+                raise SynthesisError(
+                    f"compound version needs a block pattern, got "
+                    f"{self.block_pattern!r}"
+                )
+        elif self.block_kind == "coop":
+            if self.block_pattern is not None:
+                raise SynthesisError("coop version takes no block pattern")
+        else:
+            raise SynthesisError(f"bad block kind {self.block_kind!r}")
+
+    @property
+    def identifier(self) -> str:
+        grid = "DT" if self.grid_pattern == "tile" else "DS"
+        if self.final_combine == "global_atomic":
+            grid += ",A"
+        if self.block_kind == "coop":
+            return f"{grid} / {self.combine}"
+        block = "DT" if self.block_pattern == "tile" else "DS"
+        return f"{grid} / {block}+S / {self.combine}"
+
+    @property
+    def uses_global_atomic(self) -> bool:
+        return self.final_combine == "global_atomic"
+
+    @property
+    def uses_shared_atomic(self) -> bool:
+        return self.combine in ("VA1", "VA2", "VA2S", "VA1A")
+
+    @property
+    def uses_shuffle(self) -> bool:
+        return self.combine in ("VS", "VA2S", "VA1A")
+
+    @property
+    def num_kernels(self) -> int:
+        return 1 if self.final_combine == "global_atomic" else 2
+
+
+def enumerate_versions(include_second_kernel: bool = True) -> list:
+    """The full composition space (60 versions; 30 after pruning)."""
+    versions = []
+    finals = FINAL_COMBINES if include_second_kernel else ("global_atomic",)
+    for grid in GRID_PATTERNS:
+        for final in finals:
+            for coop in COOP_KEYS:
+                versions.append(
+                    Version(
+                        grid_pattern=grid,
+                        final_combine=final,
+                        block_kind="coop",
+                        combine=coop,
+                    )
+                )
+            for block in BLOCK_PATTERNS:
+                for coop in COOP_KEYS:
+                    versions.append(
+                        Version(
+                            grid_pattern=grid,
+                            final_combine=final,
+                            block_kind="compound",
+                            block_pattern=block,
+                            combine=coop,
+                        )
+                    )
+    return versions
+
+
+def prune_versions(versions: list) -> list:
+    """The paper's pruning rule (Section IV-B): remove every version that
+    requires a second CUDA kernel for the reduction of per-block sums."""
+    return [v for v in versions if v.final_combine == "global_atomic"]
+
+
+def original_tangram_versions() -> list:
+    """Versions expressible before this paper's extensions: no atomics,
+    no shuffles — so per-block partials need the second kernel and the
+    only cooperative codelet is the tree-based V."""
+    return [
+        v
+        for v in enumerate_versions()
+        if v.final_combine == "second_kernel" and v.combine == "V"
+    ]
+
+
+def search_space_summary() -> dict:
+    """Counts used by the search-space table (Section IV-B)."""
+    everything = enumerate_versions()
+    pruned = prune_versions(everything)
+    original = original_tangram_versions()
+    global_atomic_only = [
+        v
+        for v in everything
+        if v.uses_global_atomic and not v.uses_shared_atomic and not v.uses_shuffle
+    ]
+    shared_atomic = [v for v in everything if v.uses_shared_atomic]
+    shuffle = [v for v in everything if v.uses_shuffle]
+    return {
+        "total": len(everything),
+        "original": len(original),
+        "with_global_atomics_only": len(global_atomic_only),
+        "with_shared_atomics": len(shared_atomic),
+        "with_shuffle": len(shuffle),
+        "pruned_total": len(pruned),
+        "pruned_all_use_global_atomics": all(
+            v.uses_global_atomic for v in pruned
+        ),
+    }
+
+
+def _v(grid, block_pattern, combine) -> Version:
+    if block_pattern is None:
+        return Version(
+            grid_pattern=grid,
+            final_combine="global_atomic",
+            block_kind="coop",
+            combine=combine,
+        )
+    return Version(
+        grid_pattern=grid,
+        final_combine="global_atomic",
+        block_kind="compound",
+        block_pattern=block_pattern,
+        combine=combine,
+    )
+
+
+#: The 16 named versions of Figure 6 (see DESIGN.md for the mapping).
+FIG6 = {
+    "a": _v("tile", "stride", "V"),
+    "b": _v("tile", "stride", "VS"),
+    "c": _v("tile", "stride", "VA2"),
+    "d": _v("tile", "stride", "VA1"),
+    "e": _v("tile", "stride", "VA2S"),
+    "f": _v("tile", "tile", "V"),
+    "g": _v("tile", "tile", "VS"),
+    "h": _v("tile", "tile", "VA1"),
+    "i": _v("tile", "tile", "VA2"),
+    "j": _v("tile", "tile", "VA2S"),
+    "k": _v("stride", "stride", "VA2"),
+    "l": _v("tile", None, "V"),
+    "m": _v("tile", None, "VS"),
+    "n": _v("tile", None, "VA1"),
+    "o": _v("tile", None, "VA2"),
+    "p": _v("tile", None, "VA2S"),
+}
+
+#: The paper's 8 best-performing versions (colored in Figure 6).
+BEST8 = frozenset("abcekmnp")
+
+
+def fig6_label(version: Version):
+    """Reverse lookup: the Figure 6 label of a version, or ``None``."""
+    for label, entry in FIG6.items():
+        if entry == version:
+            return label
+    return None

@@ -1,0 +1,5 @@
+"""CPU baseline models (the paper's OpenMP comparison point)."""
+
+from .openmp import POWER8, CpuSystem, openmp_reduce, openmp_reduce_time
+
+__all__ = ["POWER8", "CpuSystem", "openmp_reduce", "openmp_reduce_time"]

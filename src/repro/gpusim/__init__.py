@@ -1,0 +1,35 @@
+"""GPU simulator substrate: device, functional SIMT engine, timing model."""
+
+from .arch import ARCHITECTURES, Architecture, KEPLER, MAXWELL, PASCAL, get_architecture
+from .device import Device, DeviceError
+from .engine import Executor, SimulationError, run_plan
+from .events import EVENT_KEYS, PlanProfile, StepProfile
+from .timing import (
+    MEMSET_OVERHEAD_S,
+    TimeBreakdown,
+    kernel_time,
+    plan_breakdown,
+    plan_time,
+)
+
+__all__ = [
+    "ARCHITECTURES",
+    "Architecture",
+    "Device",
+    "DeviceError",
+    "EVENT_KEYS",
+    "Executor",
+    "KEPLER",
+    "MAXWELL",
+    "MEMSET_OVERHEAD_S",
+    "PASCAL",
+    "PlanProfile",
+    "SimulationError",
+    "StepProfile",
+    "TimeBreakdown",
+    "get_architecture",
+    "kernel_time",
+    "plan_breakdown",
+    "plan_time",
+    "run_plan",
+]

@@ -1,0 +1,631 @@
+"""Functional SIMT execution of VIR kernels with event profiling.
+
+Execution model
+---------------
+
+A block executes in **lockstep**: every VIR instruction is applied to all
+threads of the block at once as a numpy vector operation, restricted to
+the currently *active lanes*. Structured ``If``/``While`` regions narrow
+the active mask exactly the way SIMT hardware's reconvergence stack does,
+so divergence, predication and warp-level operations (shuffles, atomics)
+behave like the real machine. Blocks run sequentially, which makes
+global-memory atomics trivially atomic across blocks.
+
+Profiling counts warp-instructions (one unit per warp with ≥1 active
+lane), global-memory transactions at 128-byte-segment granularity
+(coalescing), shared-memory bank-conflict replays, atomic same-address
+serialization, divergent branches and barriers — the inputs of the
+timing model in :mod:`repro.gpusim.timing`.
+
+Large launches can be *sampled*: only a representative subset of blocks
+executes and counters are scaled to the full grid. Sampled runs produce
+profiles, not valid numerical results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..vir.instructions import (
+    AtomGlobal,
+    AtomShared,
+    Bar,
+    BinOp,
+    Comment,
+    If,
+    Imm,
+    LdGlobal,
+    LdParam,
+    LdShared,
+    Mov,
+    Reg,
+    Sel,
+    Shfl,
+    Special,
+    StGlobal,
+    StShared,
+    UnOp,
+    While,
+)
+from ..vir.program import KernelStep, MemsetStep, Plan
+from .device import Device
+from .events import PlanProfile, StepProfile
+
+WARP = 32
+
+#: Cap on how many distinct atomic addresses are tracked exactly per step.
+_ATOMIC_TRACK_CAP = 4096
+
+
+class SimulationError(Exception):
+    """Raised when a kernel does something invalid (OOB access, etc.)."""
+
+
+_CMP_LOGICAL = frozenset(
+    {"lt", "le", "gt", "ge", "eq", "ne", "land", "lor"}
+)
+
+
+def _coerce_bool(value):
+    """C semantics: predicates participate in arithmetic as 0/1 ints."""
+    if isinstance(value, np.ndarray) and value.dtype == np.bool_:
+        return value.astype(np.int64)
+    if isinstance(value, (bool, np.bool_)):
+        return int(value)
+    return value
+
+
+def _np_binop(op, a, b):
+    if op not in _CMP_LOGICAL:
+        a = _coerce_bool(a)
+        b = _coerce_bool(b)
+    if op == "add":
+        return a + b
+    if op == "sub":
+        return a - b
+    if op == "mul":
+        return a * b
+    if op == "div":
+        if _is_integer(a) and _is_integer(b):
+            return _int_div(a, b)
+        return a / b
+    if op == "mod":
+        return a % b
+    if op == "min":
+        return np.minimum(a, b)
+    if op == "max":
+        return np.maximum(a, b)
+    if op == "and":
+        return np.bitwise_and(a, b)
+    if op == "or":
+        return np.bitwise_or(a, b)
+    if op == "xor":
+        return np.bitwise_xor(a, b)
+    if op == "shl":
+        return np.left_shift(a, b)
+    if op == "shr":
+        return np.right_shift(a, b)
+    if op == "lt":
+        return a < b
+    if op == "le":
+        return a <= b
+    if op == "gt":
+        return a > b
+    if op == "ge":
+        return a >= b
+    if op == "eq":
+        return a == b
+    if op == "ne":
+        return a != b
+    if op == "land":
+        return np.logical_and(a, b)
+    if op == "lor":
+        return np.logical_or(a, b)
+    raise SimulationError(f"unknown binary op {op!r}")
+
+
+def _is_integer(value) -> bool:
+    if isinstance(value, np.ndarray):
+        return value.dtype.kind in "iub"
+    return isinstance(value, (int, np.integer, bool, np.bool_))
+
+
+def _int_div(a, b):
+    """C-style truncating integer division (valid for our kernels, which
+    only divide non-negative quantities)."""
+    return np.floor_divide(a, b)
+
+
+_ATOMIC_UFUNC = {
+    "add": np.add,
+    "sub": np.subtract,
+    "min": np.minimum,
+    "max": np.maximum,
+}
+
+
+class Executor:
+    """Executes :class:`~repro.vir.program.Plan` objects on a device."""
+
+    #: Iteration cap per structured loop — a backstop against kernels
+    #: that never converge (well above any legitimate coarsening loop).
+    DEFAULT_LOOP_CAP = 2_000_000
+
+    def __init__(
+        self,
+        device: Device = None,
+        check_races: bool = False,
+        loop_cap: int = None,
+    ):
+        self.device = device if device is not None else Device()
+        self.check_races = check_races
+        self.loop_cap = loop_cap or self.DEFAULT_LOOP_CAP
+
+    # -- plan level -----------------------------------------------------
+
+    def run_plan(self, plan: Plan, sample_limit: int = None) -> PlanProfile:
+        """Run every step of a plan.
+
+        ``sample_limit`` bounds how many blocks of each launch actually
+        execute; when it kicks in, the profile is marked sampled and the
+        numeric result is not meaningful.
+        """
+        plan.validate()
+        dtype = np.dtype(plan.meta.get("dtype", "float32"))
+        for name, size in plan.scratch.items():
+            if name not in self.device:
+                self.device.alloc(name, size, dtype=dtype)
+        profile = PlanProfile(plan_name=plan.name)
+        sampled_any = False
+        for step in plan.steps:
+            if isinstance(step, MemsetStep):
+                self.device.memset(step.buffer, step.value)
+                continue
+            step_profile = self.run_kernel(step, sample_limit=sample_limit)
+            sampled_any = sampled_any or bool(step_profile.sampled_blocks)
+            profile.steps.append(step_profile)
+        if not sampled_any:
+            result_buf = self.device.get(plan.result_buffer)
+            index = plan.result_index
+            if not 0 <= index < len(result_buf):
+                raise SimulationError(
+                    f"plan {plan.name!r}: result index {index} out of range"
+                )
+            profile.result = float(result_buf[index])
+        profile.meta["sampled"] = sampled_any
+        return profile
+
+    # -- kernel level ------------------------------------------------------
+
+    def run_kernel(self, step: KernelStep, sample_limit: int = None) -> StepProfile:
+        kernel = step.kernel
+        profile = StepProfile(
+            kernel_name=kernel.name,
+            grid=step.grid,
+            block=step.block,
+            shared_bytes=kernel.shared_bytes(),
+            registers=kernel.register_count(),
+            meta=dict(kernel.meta),
+        )
+        if sample_limit is not None and step.grid > sample_limit:
+            block_ids = np.unique(
+                np.linspace(0, step.grid - 1, sample_limit).astype(np.int64)
+            )
+            profile.sampled_blocks = len(block_ids)
+        else:
+            block_ids = range(step.grid)
+
+        atomic_addr_counts = {}
+        for block_id in block_ids:
+            block = _BlockRun(
+                self, step, int(block_id), profile.events, atomic_addr_counts
+            )
+            block.run()
+
+        executed_blocks = profile.sampled_blocks or step.grid
+        profile.events["blocks"] = executed_blocks
+        profile.events["threads"] = executed_blocks * step.block
+        profile.events["warps"] = executed_blocks * profile.warps_per_block
+
+        if atomic_addr_counts:
+            profile.events["atom.global.max_same_addr"] = max(
+                atomic_addr_counts.values()
+            )
+        return profile
+
+
+class _BlockRun:
+    """Execution state of one block (registers, shared memory, masks)."""
+
+    def __init__(self, executor, step, block_id, events, atomic_addr_counts):
+        self.executor = executor
+        self.device = executor.device
+        self.step = step
+        self.kernel = step.kernel
+        self.block_id = block_id
+        self.nthreads = step.block
+        self.events = events
+        self.atomic_addr_counts = atomic_addr_counts
+        self.regs = {}
+        self.shared = {
+            decl.name: np.zeros(decl.size, dtype=np.float64)
+            for decl in self.kernel.shared
+        }
+        self.nwarps = (self.nthreads + WARP - 1) // WARP
+        # padded lane->warp mapping for warp-granularity statistics
+        self._warp_of_lane = np.arange(self.nthreads) // WARP
+
+    # -- helpers -------------------------------------------------------
+
+    def run(self) -> None:
+        mask = np.ones(self.nthreads, dtype=bool)
+        self._exec_body(self.kernel.body, mask)
+
+    def _active_warps(self, mask) -> int:
+        if not mask.any():
+            return 0
+        return int(np.unique(self._warp_of_lane[mask]).size)
+
+    def _count(self, key, mask) -> None:
+        warps = self._active_warps(mask)
+        if warps:
+            self.events[key] += warps
+
+    def _read(self, operand, mask):
+        if isinstance(operand, Imm):
+            return operand.value
+        if isinstance(operand, Reg):
+            if operand.name not in self.regs:
+                raise SimulationError(
+                    f"kernel {self.kernel.name!r}: read of unwritten register "
+                    f"{operand}"
+                )
+            return self.regs[operand.name]
+        raise SimulationError(f"bad operand {operand!r}")
+
+    def _write(self, reg: Reg, value, mask) -> None:
+        value = np.asarray(value)
+        if value.ndim == 0:
+            value = np.broadcast_to(value, (self.nthreads,))
+        current = self.regs.get(reg.name)
+        if current is None or mask.all():
+            # Inactive lanes keep whatever the vectorized computation put
+            # there — deterministic in the simulator, "undefined" on HW.
+            self.regs[reg.name] = np.array(value, dtype=_promote_dtype(value.dtype))
+            return
+        merged_dtype = np.result_type(current.dtype, value.dtype)
+        if merged_dtype != current.dtype:
+            current = current.astype(merged_dtype)
+        else:
+            current = current.copy()
+        current[mask] = value[mask]
+        self.regs[reg.name] = current
+
+    # -- structured execution ----------------------------------------------
+
+    def _exec_body(self, body, mask) -> None:
+        for instr in body:
+            if not mask.any():
+                return
+            self._exec(instr, mask)
+
+    def _exec(self, instr, mask) -> None:
+        if isinstance(instr, Comment):
+            return
+        if isinstance(instr, BinOp):
+            a = self._read(instr.a, mask)
+            b = self._read(instr.b, mask)
+            self._write(instr.dst, _np_binop(instr.op, a, b), mask)
+            self._count("inst.alu", mask)
+        elif isinstance(instr, UnOp):
+            a = self._read(instr.a, mask)
+            if instr.op == "neg":
+                value = -np.asarray(_coerce_bool(a))
+            elif instr.op == "lnot":
+                value = np.logical_not(a)
+            else:  # bnot
+                value = np.bitwise_not(np.asarray(_coerce_bool(a)))
+            self._write(instr.dst, value, mask)
+            self._count("inst.alu", mask)
+        elif isinstance(instr, Mov):
+            self._write(instr.dst, self._read(instr.a, mask), mask)
+            self._count("inst.alu", mask)
+        elif isinstance(instr, Sel):
+            cond = self._read(instr.cond, mask)
+            a = self._read(instr.a, mask)
+            b = self._read(instr.b, mask)
+            self._write(instr.dst, np.where(cond, a, b), mask)
+            self._count("inst.alu", mask)
+        elif isinstance(instr, Special):
+            self._write(instr.dst, self._special(instr.kind), mask)
+            self._count("inst.alu", mask)
+        elif isinstance(instr, LdParam):
+            value = self.step.args[instr.name]
+            self._write(instr.dst, np.full(self.nthreads, value), mask)
+            self._count("inst.alu", mask)
+        elif isinstance(instr, LdGlobal):
+            self._ld_global(instr, mask)
+        elif isinstance(instr, StGlobal):
+            self._st_global(instr, mask)
+        elif isinstance(instr, LdShared):
+            self._ld_shared(instr, mask)
+        elif isinstance(instr, StShared):
+            self._st_shared(instr, mask)
+        elif isinstance(instr, AtomGlobal):
+            self._atom_global(instr, mask)
+        elif isinstance(instr, AtomShared):
+            self._atom_shared(instr, mask)
+        elif isinstance(instr, Shfl):
+            self._shfl(instr, mask)
+        elif isinstance(instr, Bar):
+            self.events["inst.bar"] += 1
+        elif isinstance(instr, If):
+            self._exec_if(instr, mask)
+        elif isinstance(instr, While):
+            self._exec_while(instr, mask)
+        else:
+            raise SimulationError(f"cannot execute {type(instr).__name__}")
+
+    def _special(self, kind):
+        tid = np.arange(self.nthreads, dtype=np.int64)
+        if kind == "tid":
+            return tid
+        if kind == "ctaid":
+            return np.full(self.nthreads, self.block_id, dtype=np.int64)
+        if kind == "ntid":
+            return np.full(self.nthreads, self.nthreads, dtype=np.int64)
+        if kind == "nctaid":
+            return np.full(self.nthreads, self.step.grid, dtype=np.int64)
+        if kind == "laneid":
+            return tid % WARP
+        if kind == "warpid":
+            return tid // WARP
+        raise SimulationError(f"unknown special register {kind!r}")
+
+    def _exec_if(self, instr, mask) -> None:
+        cond = np.asarray(self._read(instr.cond, mask), dtype=bool)
+        then_mask = mask & cond
+        else_mask = mask & ~cond
+        # A warp diverges when its active lanes take both paths.
+        if instr.otherwise or True:
+            for warp in np.unique(self._warp_of_lane[mask]):
+                lanes = self._warp_of_lane == warp
+                if (then_mask & lanes).any() and (else_mask & lanes).any():
+                    self.events["branch.divergent"] += 1
+        if then_mask.any():
+            self._exec_body(instr.then, then_mask)
+        if instr.otherwise and else_mask.any():
+            self._exec_body(instr.otherwise, else_mask)
+
+    def _exec_while(self, instr, mask) -> None:
+        active = mask.copy()
+        iterations = 0
+        while True:
+            self._exec_body(instr.cond_block, active)
+            cond = np.asarray(self._read(instr.cond, active), dtype=bool)
+            active &= cond
+            if not active.any():
+                return
+            iterations += 1
+            if iterations > self.executor.loop_cap:
+                raise SimulationError(
+                    f"kernel {self.kernel.name!r}: loop exceeded iteration cap "
+                    f"({self.executor.loop_cap})"
+                )
+            self._exec_body(instr.body, active)
+
+    # -- memory -------------------------------------------------------------
+
+    def _global_indices(self, operand, mask, buf) -> np.ndarray:
+        idx = np.asarray(self._read(operand, mask))
+        if idx.ndim == 0:
+            idx = np.broadcast_to(idx, (self.nthreads,))
+        active_idx = idx[mask]
+        arr = self.device.get(buf)
+        if active_idx.size and (
+            active_idx.min() < 0 or active_idx.max() >= len(arr)
+        ):
+            raise SimulationError(
+                f"kernel {self.kernel.name!r}: out-of-bounds access to global "
+                f"buffer {buf!r} (size {len(arr)}, index range "
+                f"[{active_idx.min()}, {active_idx.max()}])"
+            )
+        return idx.astype(np.int64)
+
+    def _count_transactions(self, idx, mask, buf, kind, width: int = 1) -> None:
+        """Count unique 128-byte segments touched per warp.
+
+        For vectorized accesses all ``width`` element addresses of the
+        access are coalesced together (one wide access), so segments are
+        deduplicated across the whole vector, not per element.
+        """
+        arr = self.device.get(buf)
+        per_segment = max(1, 128 // arr.dtype.itemsize)
+        if width == 1:
+            all_segments = (idx // per_segment)[np.newaxis, :]
+        else:
+            all_segments = np.stack(
+                [(idx + k) // per_segment for k in range(width)]
+            )
+        total = 0
+        for warp in np.unique(self._warp_of_lane[mask]):
+            lanes = mask & (self._warp_of_lane == warp)
+            total += int(np.unique(all_segments[:, lanes]).size)
+        self.events[f"mem.global.{kind}.trans"] += total
+        self.events["mem.global.bytes"] += total * 128
+        self.events["mem.global.bytes_useful"] += (
+            int(mask.sum()) * width * arr.dtype.itemsize
+        )
+
+    def _ld_global(self, instr, mask) -> None:
+        idx = self._global_indices(instr.idx, mask, instr.buf)
+        arr = self.device.get(instr.buf)
+        if instr.width == 1:
+            value = np.zeros(self.nthreads, dtype=np.float64)
+            value[mask] = arr[idx[mask]]
+            self._write(instr.dst, value, mask)
+            self._count_transactions(idx, mask, instr.buf, "ld")
+        else:
+            last = idx + (instr.width - 1)
+            if (last[mask] >= len(arr)).any():
+                raise SimulationError(
+                    f"kernel {self.kernel.name!r}: vector load past end of "
+                    f"{instr.buf!r}"
+                )
+            for k, dst in enumerate(instr.dst):
+                value = np.zeros(self.nthreads, dtype=np.float64)
+                value[mask] = arr[idx[mask] + k]
+                self._write(dst, value, mask)
+            self._count_transactions(idx, mask, instr.buf, "ld", width=instr.width)
+        self._count("inst.ld.global", mask)
+
+    def _st_global(self, instr, mask) -> None:
+        idx = self._global_indices(instr.idx, mask, instr.buf)
+        src = self._value_array(instr.src, mask)
+        arr = self.device.get(instr.buf)
+        self._maybe_check_race(idx[mask], src[mask], f"global buffer {instr.buf!r}")
+        arr[idx[mask]] = src[mask].astype(arr.dtype)
+        self._count_transactions(idx, mask, instr.buf, "st")
+        self._count("inst.st.global", mask)
+
+    def _shared_indices(self, operand, mask, buf) -> np.ndarray:
+        idx = np.asarray(self._read(operand, mask))
+        if idx.ndim == 0:
+            idx = np.broadcast_to(idx, (self.nthreads,))
+        arr = self.shared[buf]
+        active_idx = idx[mask]
+        if active_idx.size and (
+            active_idx.min() < 0 or active_idx.max() >= len(arr)
+        ):
+            raise SimulationError(
+                f"kernel {self.kernel.name!r}: out-of-bounds access to shared "
+                f"buffer {buf!r} (size {len(arr)}, index range "
+                f"[{active_idx.min()}, {active_idx.max()}])"
+            )
+        return idx.astype(np.int64)
+
+    def _count_bank_replays(self, idx, mask) -> None:
+        """Shared memory has 32 banks; distinct words in one bank replay."""
+        total = 0
+        for warp in np.unique(self._warp_of_lane[mask]):
+            lanes = mask & (self._warp_of_lane == warp)
+            addrs = np.unique(idx[lanes])
+            banks = addrs % 32
+            if banks.size:
+                _, counts = np.unique(banks, return_counts=True)
+                total += int(counts.max()) - 1
+        if total:
+            self.events["mem.shared.replays"] += total
+
+    def _ld_shared(self, instr, mask) -> None:
+        idx = self._shared_indices(instr.idx, mask, instr.buf)
+        arr = self.shared[instr.buf]
+        value = np.zeros(self.nthreads, dtype=np.float64)
+        value[mask] = arr[idx[mask]]
+        self._write(instr.dst, value, mask)
+        self._count("inst.ld.shared", mask)
+        self._count_bank_replays(idx, mask)
+
+    def _st_shared(self, instr, mask) -> None:
+        idx = self._shared_indices(instr.idx, mask, instr.buf)
+        src = self._value_array(instr.src, mask)
+        self._maybe_check_race(idx[mask], src[mask], f"shared buffer {instr.buf!r}")
+        self.shared[instr.buf][idx[mask]] = src[mask]
+        self._count("inst.st.shared", mask)
+        self._count_bank_replays(idx, mask)
+
+    def _value_array(self, operand, mask) -> np.ndarray:
+        value = np.asarray(self._read(operand, mask))
+        if value.ndim == 0:
+            value = np.broadcast_to(value, (self.nthreads,)).astype(np.float64)
+        return value
+
+    def _maybe_check_race(self, idx, values, what) -> None:
+        if not self.executor.check_races or idx.size < 2:
+            return
+        order = np.argsort(idx, kind="stable")
+        sorted_idx = idx[order]
+        sorted_vals = np.asarray(values)[order]
+        dup = sorted_idx[1:] == sorted_idx[:-1]
+        conflicting = dup & (sorted_vals[1:] != sorted_vals[:-1])
+        if conflicting.any():
+            raise SimulationError(
+                f"kernel {self.kernel.name!r}: write-write race on {what} "
+                f"(same-cycle conflicting stores to index "
+                f"{int(sorted_idx[1:][conflicting][0])})"
+            )
+
+    # -- atomics -----------------------------------------------------------
+
+    def _atom_shared(self, instr, mask) -> None:
+        idx = self._shared_indices(instr.idx, mask, instr.buf)
+        src = self._value_array(instr.src, mask)
+        _ATOMIC_UFUNC[instr.op].at(self.shared[instr.buf], idx[mask], src[mask])
+        ops = int(mask.sum())
+        self.events["atom.shared.ops"] += ops
+        # Per-warp serialization: ops to the same address inside one warp
+        # execute one at a time.
+        serial = 0
+        for warp in np.unique(self._warp_of_lane[mask]):
+            lanes = mask & (self._warp_of_lane == warp)
+            _, counts = np.unique(idx[lanes], return_counts=True)
+            serial += int(counts.max())
+        self.events["atom.shared.warp_serial"] += serial
+        # Block-level: total ops per address bound the block's critical path.
+        _, counts = np.unique(idx[mask], return_counts=True)
+        self.events["atom.shared.block_max_same_addr"] += int(counts.max())
+
+    def _atom_global(self, instr, mask) -> None:
+        idx = self._global_indices(instr.idx, mask, instr.buf)
+        src = self._value_array(instr.src, mask)
+        arr = self.device.get(instr.buf)
+        # numpy's ufunc.at on a float32 array accumulates in float32, like
+        # the hardware's atomic units.
+        _ATOMIC_UFUNC[instr.op].at(arr, idx[mask], src[mask].astype(arr.dtype))
+        self.events["atom.global.ops"] += int(mask.sum())
+        counts = self.atomic_addr_counts
+        if len(counts) <= _ATOMIC_TRACK_CAP:
+            for address in idx[mask]:
+                key = (instr.buf, int(address))
+                counts[key] = counts.get(key, 0) + 1
+
+    # -- shuffles -----------------------------------------------------------
+
+    def _shfl(self, instr, mask) -> None:
+        src = np.asarray(self._read(instr.src, mask))
+        lanes = np.arange(self.nthreads, dtype=np.int64)
+        sub = lanes % instr.width
+        base = lanes - sub
+        offset = self._read(instr.offset, mask)
+        offset = np.asarray(offset)
+        if offset.ndim == 0:
+            offset = np.broadcast_to(offset, (self.nthreads,))
+        if instr.mode == "down":
+            target = sub + offset
+        elif instr.mode == "up":
+            target = sub - offset
+        elif instr.mode == "xor":
+            target = np.bitwise_xor(sub, offset.astype(np.int64))
+        else:  # idx
+            target = offset.astype(np.int64)
+        in_range = (target >= 0) & (target < instr.width)
+        source_lane = np.where(in_range, base + target, lanes)
+        source_lane = np.clip(source_lane, 0, self.nthreads - 1)
+        result = src[source_lane]
+        self._write(instr.dst, result, mask)
+        self._count("inst.shfl", mask)
+
+
+def _promote_dtype(dtype):
+    """Registers hold int64 / float64 / bool for simulation stability."""
+    if dtype.kind in "iu":
+        return np.int64
+    if dtype.kind == "b":
+        return np.bool_
+    return np.float64
+
+
+def run_plan(plan: Plan, device: Device = None, sample_limit: int = None):
+    """One-shot convenience wrapper around :class:`Executor`."""
+    executor = Executor(device=device)
+    return executor.run_plan(plan, sample_limit=sample_limit), executor.device

@@ -1,0 +1,66 @@
+"""Tangram-like DSL frontend: lexer, parser, AST, semantic analysis.
+
+Typical use::
+
+    from repro.lang import analyze_source
+
+    analyzed = analyze_source(dsl_text)
+    for info in analyzed.codelets:
+        print(info.display_name, info.kind)
+"""
+
+from . import ast
+from .errors import (
+    LexError,
+    LoweringError,
+    ParseError,
+    SemanticError,
+    SynthesisError,
+    TangramError,
+    TransformError,
+    TypeMismatchError,
+    UnknownSymbolError,
+)
+from .lexer import Lexer, tokenize
+from .parser import Parser, parse_expression, parse_program
+from .semantic import (
+    AnalyzedProgram,
+    CodeletInfo,
+    MapInfo,
+    PARTITION_INDEX_NAME,
+    analyze,
+    analyze_source,
+)
+from .source import SourceFile, Span
+from .symbols import Scope, Symbol
+from .tokens import Token, TokenKind
+
+__all__ = [
+    "AnalyzedProgram",
+    "CodeletInfo",
+    "Lexer",
+    "LexError",
+    "LoweringError",
+    "MapInfo",
+    "PARTITION_INDEX_NAME",
+    "ParseError",
+    "Parser",
+    "Scope",
+    "SemanticError",
+    "SourceFile",
+    "Span",
+    "Symbol",
+    "SynthesisError",
+    "TangramError",
+    "Token",
+    "TokenKind",
+    "TransformError",
+    "TypeMismatchError",
+    "UnknownSymbolError",
+    "analyze",
+    "analyze_source",
+    "ast",
+    "parse_expression",
+    "parse_program",
+    "tokenize",
+]

@@ -1,0 +1,202 @@
+"""Hand-written lexer for the Tangram-like DSL.
+
+The lexer is a single forward scan producing a list of
+:class:`~repro.lang.tokens.Token`. It understands C/C++-style line and
+block comments, decimal/hex integer literals (with optional ``u``/``U``
+suffix), float literals (with optional ``f``/``F`` suffix), identifiers,
+DSL keywords, and the multi-character operators used by the language.
+"""
+
+from __future__ import annotations
+
+from .errors import LexError
+from .source import SourceFile, Span
+from .tokens import KEYWORDS, Token, TokenKind
+
+# Multi-character operators, longest first so maximal munch works by
+# simple ordered prefix matching.
+_OPERATORS = [
+    ("<<=", TokenKind.SHL_ASSIGN),
+    (">>=", TokenKind.SHR_ASSIGN),
+    ("<<", TokenKind.SHL),
+    (">>", TokenKind.SHR),
+    ("<=", TokenKind.LE),
+    (">=", TokenKind.GE),
+    ("==", TokenKind.EQ),
+    ("!=", TokenKind.NE),
+    ("+=", TokenKind.PLUS_ASSIGN),
+    ("-=", TokenKind.MINUS_ASSIGN),
+    ("*=", TokenKind.STAR_ASSIGN),
+    ("/=", TokenKind.SLASH_ASSIGN),
+    ("%=", TokenKind.PERCENT_ASSIGN),
+    ("&&", TokenKind.AND_AND),
+    ("||", TokenKind.OR_OR),
+    ("++", TokenKind.PLUS_PLUS),
+    ("--", TokenKind.MINUS_MINUS),
+    ("(", TokenKind.LPAREN),
+    (")", TokenKind.RPAREN),
+    ("{", TokenKind.LBRACE),
+    ("}", TokenKind.RBRACE),
+    ("[", TokenKind.LBRACKET),
+    ("]", TokenKind.RBRACKET),
+    (",", TokenKind.COMMA),
+    (";", TokenKind.SEMICOLON),
+    (".", TokenKind.DOT),
+    ("?", TokenKind.QUESTION),
+    (":", TokenKind.COLON),
+    ("<", TokenKind.LT),
+    (">", TokenKind.GT),
+    ("=", TokenKind.ASSIGN),
+    ("+", TokenKind.PLUS),
+    ("-", TokenKind.MINUS),
+    ("*", TokenKind.STAR),
+    ("/", TokenKind.SLASH),
+    ("%", TokenKind.PERCENT),
+    ("!", TokenKind.NOT),
+    ("&", TokenKind.AMP),
+    ("|", TokenKind.PIPE),
+    ("^", TokenKind.CARET),
+    ("~", TokenKind.TILDE),
+]
+
+
+def _is_ident_start(char: str) -> bool:
+    return char.isalpha() or char == "_"
+
+
+def _is_ident_char(char: str) -> bool:
+    return char.isalnum() or char == "_"
+
+
+class Lexer:
+    """Scans one :class:`SourceFile` into tokens."""
+
+    def __init__(self, source: SourceFile):
+        self.source = source
+        self.text = source.text
+        self.pos = 0
+
+    def tokenize(self) -> list:
+        tokens = []
+        while True:
+            token = self._next_token()
+            tokens.append(token)
+            if token.kind is TokenKind.EOF:
+                return tokens
+
+    # -- internals ---------------------------------------------------
+
+    def _span(self, start: int) -> Span:
+        return Span(start, self.pos, self.source)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        if index < len(self.text):
+            return self.text[index]
+        return ""
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.text):
+            char = self.text[self.pos]
+            if char.isspace():
+                self.pos += 1
+            elif char == "/" and self._peek(1) == "/":
+                newline = self.text.find("\n", self.pos)
+                self.pos = len(self.text) if newline == -1 else newline
+            elif char == "/" and self._peek(1) == "*":
+                close = self.text.find("*/", self.pos + 2)
+                if close == -1:
+                    raise LexError(
+                        "unterminated block comment",
+                        Span(self.pos, self.pos + 2, self.source),
+                    )
+                self.pos = close + 2
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        self._skip_trivia()
+        start = self.pos
+        if self.pos >= len(self.text):
+            return Token(TokenKind.EOF, "", self._span(start))
+
+        char = self.text[self.pos]
+        if char.isdigit():
+            return self._lex_number(start)
+        if _is_ident_start(char):
+            return self._lex_ident(start)
+        for literal, kind in _OPERATORS:
+            if self.text.startswith(literal, self.pos):
+                self.pos += len(literal)
+                return Token(kind, literal, self._span(start))
+        raise LexError(
+            f"unexpected character {char!r}",
+            Span(start, start + 1, self.source),
+        )
+
+    def _lex_ident(self, start: int) -> Token:
+        while self.pos < len(self.text) and _is_ident_char(self.text[self.pos]):
+            self.pos += 1
+        text = self.text[start:self.pos]
+        kind = KEYWORDS.get(text, TokenKind.IDENT)
+        return Token(kind, text, self._span(start))
+
+    def _lex_number(self, start: int) -> Token:
+        if self._peek() == "0" and self._peek(1) in ("x", "X"):
+            self.pos += 2
+            digits_start = self.pos
+            while self.pos < len(self.text) and self.text[self.pos] in "0123456789abcdefABCDEF":
+                self.pos += 1
+            if self.pos == digits_start:
+                raise LexError(
+                    "hex literal with no digits", Span(start, self.pos, self.source)
+                )
+            if self._peek() in ("u", "U"):
+                self.pos += 1
+            return Token(TokenKind.INT_LITERAL, self.text[start:self.pos], self._span(start))
+
+        while self.pos < len(self.text) and self.text[self.pos].isdigit():
+            self.pos += 1
+
+        is_float = False
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_float = True
+            self.pos += 1
+            while self.pos < len(self.text) and self.text[self.pos].isdigit():
+                self.pos += 1
+        if self._peek() in ("e", "E") and (
+            self._peek(1).isdigit()
+            or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_float = True
+            self.pos += 1
+            if self._peek() in "+-":
+                self.pos += 1
+            while self.pos < len(self.text) and self.text[self.pos].isdigit():
+                self.pos += 1
+
+        if is_float:
+            if self._peek() in ("f", "F"):
+                self.pos += 1
+            return Token(
+                TokenKind.FLOAT_LITERAL, self.text[start:self.pos], self._span(start)
+            )
+        if self._peek() in ("f", "F"):
+            # e.g. `1f` — treat as a float literal for convenience
+            self.pos += 1
+            return Token(
+                TokenKind.FLOAT_LITERAL, self.text[start:self.pos], self._span(start)
+            )
+        if self._peek() in ("u", "U"):
+            self.pos += 1
+        if self.pos < len(self.text) and _is_ident_start(self.text[self.pos]):
+            raise LexError(
+                f"invalid suffix on numeric literal: {self.text[start:self.pos + 1]!r}",
+                Span(start, self.pos + 1, self.source),
+            )
+        return Token(TokenKind.INT_LITERAL, self.text[start:self.pos], self._span(start))
+
+
+def tokenize(text: str, name: str = "<dsl>") -> list:
+    """Convenience wrapper: lex ``text`` into a token list (with EOF)."""
+    return Lexer(SourceFile(text, name)).tokenize()

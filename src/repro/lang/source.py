@@ -1,0 +1,95 @@
+"""Source text handling for the Tangram-like DSL.
+
+A :class:`SourceFile` owns the raw text of one DSL translation unit and
+knows how to map byte offsets back to human-readable line/column pairs.
+Every token and AST node carries a :class:`Span` pointing back into its
+source file so that diagnostics from any compiler stage (lexer, parser,
+semantic analysis, AST passes) can show the offending source line.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+
+class SourceFile:
+    """Immutable wrapper around the text of one DSL source file."""
+
+    def __init__(self, text: str, name: str = "<dsl>"):
+        self.text = text
+        self.name = name
+        self._line_starts = self._compute_line_starts(text)
+
+    @staticmethod
+    def _compute_line_starts(text: str) -> list:
+        starts = [0]
+        for index, char in enumerate(text):
+            if char == "\n":
+                starts.append(index + 1)
+        return starts
+
+    def line_col(self, offset: int) -> tuple:
+        """Return the 1-based ``(line, column)`` for a byte offset."""
+        if offset < 0:
+            raise ValueError(f"negative source offset: {offset}")
+        offset = min(offset, len(self.text))
+        line_index = bisect.bisect_right(self._line_starts, offset) - 1
+        column = offset - self._line_starts[line_index]
+        return line_index + 1, column + 1
+
+    def line_text(self, line: int) -> str:
+        """Return the text of a 1-based line number, without the newline."""
+        if line < 1 or line > len(self._line_starts):
+            raise ValueError(f"line {line} out of range for {self.name}")
+        start = self._line_starts[line - 1]
+        end = self.text.find("\n", start)
+        if end == -1:
+            end = len(self.text)
+        return self.text[start:end]
+
+    def __repr__(self) -> str:
+        return f"SourceFile(name={self.name!r}, {len(self.text)} chars)"
+
+
+@dataclass(frozen=True)
+class Span:
+    """Half-open byte range ``[start, end)`` within a source file."""
+
+    start: int
+    end: int
+    source: SourceFile = field(repr=False, compare=False, default=None)
+
+    def merge(self, other: "Span") -> "Span":
+        """Smallest span covering both ``self`` and ``other``."""
+        return Span(
+            min(self.start, other.start),
+            max(self.end, other.end),
+            self.source or other.source,
+        )
+
+    @property
+    def text(self) -> str:
+        if self.source is None:
+            return ""
+        return self.source.text[self.start:self.end]
+
+    def describe(self) -> str:
+        """Format as ``name:line:col`` when a source file is attached."""
+        if self.source is None:
+            return f"<offset {self.start}>"
+        line, col = self.source.line_col(self.start)
+        return f"{self.source.name}:{line}:{col}"
+
+    def caret_snippet(self) -> str:
+        """Render the source line with a caret column marker underneath."""
+        if self.source is None:
+            return ""
+        line, col = self.source.line_col(self.start)
+        text = self.source.line_text(line)
+        width = max(1, min(self.end, len(self.source.text)) - self.start)
+        width = min(width, max(1, len(text) - (col - 1)))
+        return f"{text}\n{' ' * (col - 1)}{'^' * width}"
+
+
+DUMMY_SPAN = Span(0, 0, None)

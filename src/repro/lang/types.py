@@ -1,0 +1,160 @@
+"""Type system for the Tangram-like DSL.
+
+The language has a deliberately small set of types:
+
+* scalar types: ``int``, ``unsigned``, ``float``, ``double``, ``bool``,
+  ``void``;
+* ``Array<rank, T>`` — the DSL's read-only data container with ``Size()``
+  and ``Stride()`` member functions (Figure 1 of the paper);
+* raw buffers — C-style local arrays declared with ``__shared`` (or not);
+* ``Sequence`` — an access-pattern generator used by ``partition``;
+* ``Map`` — the result of applying a spectrum over a partition;
+* ``Vector`` — the handle to the SIMD thread group (Figure 2).
+
+Types are immutable value objects; use ``==`` for compatibility checks
+and the helpers at the bottom for arithmetic promotion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Type:
+    """Base class for all DSL types."""
+
+    def is_scalar(self) -> bool:
+        return isinstance(self, ScalarType)
+
+    def is_numeric(self) -> bool:
+        return isinstance(self, ScalarType) and self.kind in _NUMERIC_KINDS
+
+    def is_integral(self) -> bool:
+        return isinstance(self, ScalarType) and self.kind in ("int", "unsigned", "bool")
+
+
+_NUMERIC_KINDS = ("int", "unsigned", "float", "double")
+_SCALAR_KINDS = _NUMERIC_KINDS + ("bool", "void")
+
+
+@dataclass(frozen=True)
+class ScalarType(Type):
+    kind: str
+
+    def __post_init__(self):
+        if self.kind not in _SCALAR_KINDS:
+            raise ValueError(f"unknown scalar kind: {self.kind!r}")
+
+    def __str__(self) -> str:
+        return self.kind
+
+
+INT = ScalarType("int")
+UNSIGNED = ScalarType("unsigned")
+FLOAT = ScalarType("float")
+DOUBLE = ScalarType("double")
+BOOL = ScalarType("bool")
+VOID = ScalarType("void")
+
+SCALAR_BY_NAME = {
+    "int": INT,
+    "unsigned": UNSIGNED,
+    "float": FLOAT,
+    "double": DOUBLE,
+    "bool": BOOL,
+    "void": VOID,
+}
+
+
+@dataclass(frozen=True)
+class ContainerType(Type):
+    """The DSL ``Array<rank, T>`` container (a kernel input)."""
+
+    rank: int
+    element: ScalarType
+    const: bool = True
+
+    def __str__(self) -> str:
+        prefix = "const " if self.const else ""
+        return f"{prefix}Array<{self.rank},{self.element}>"
+
+
+@dataclass(frozen=True)
+class BufferType(Type):
+    """A raw (possibly ``__shared``) local array of scalars."""
+
+    element: ScalarType
+
+    def __str__(self) -> str:
+        return f"{self.element}[]"
+
+
+@dataclass(frozen=True)
+class SequenceType(Type):
+    def __str__(self) -> str:
+        return "Sequence"
+
+
+@dataclass(frozen=True)
+class MapType(Type):
+    """Result of ``Map(f, partition(...))`` — a container of partials."""
+
+    element: ScalarType
+
+    def __str__(self) -> str:
+        return f"Map<{self.element}>"
+
+
+@dataclass(frozen=True)
+class PartitionType(Type):
+    """Result of ``partition(container, n, start, inc, end)``."""
+
+    element: ScalarType
+
+    def __str__(self) -> str:
+        return f"Partition<{self.element}>"
+
+
+@dataclass(frozen=True)
+class VectorType(Type):
+    def __str__(self) -> str:
+        return "Vector"
+
+
+SEQUENCE = SequenceType()
+VECTOR = VectorType()
+
+
+# -- promotion rules ---------------------------------------------------
+
+_RANKING = {"bool": 0, "int": 1, "unsigned": 2, "float": 3, "double": 4}
+
+
+def promote(left: Type, right: Type) -> ScalarType:
+    """Usual-arithmetic-conversion result for two scalar operands.
+
+    Raises :class:`TypeError` when either operand is not scalar; callers
+    in semantic analysis convert this to a spanned diagnostic.
+    """
+    if not isinstance(left, ScalarType) or not isinstance(right, ScalarType):
+        raise TypeError(f"cannot promote non-scalar types {left} and {right}")
+    if left.kind == "void" or right.kind == "void":
+        raise TypeError("void has no value")
+    winner = max(left.kind, right.kind, key=_RANKING.__getitem__)
+    if winner == "bool":
+        # bool op bool computes in int, like C
+        return INT
+    return SCALAR_BY_NAME[winner]
+
+
+def assignable(target: Type, value: Type) -> bool:
+    """Whether ``value`` may be stored into a location of type ``target``.
+
+    Scalars convert freely among numeric kinds (C-like implicit
+    conversions); everything else requires exact type equality.
+    """
+    if isinstance(target, ScalarType) and isinstance(value, ScalarType):
+        if target.kind == "void" or value.kind == "void":
+            return False
+        return True
+    return target == value

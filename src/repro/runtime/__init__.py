@@ -1,0 +1,17 @@
+"""Host runtime: the end-to-end reduction framework."""
+
+from .session import (
+    ReduceResult,
+    ReductionFramework,
+    cub_time,
+    kokkos_time,
+    openmp_time,
+)
+
+__all__ = [
+    "ReduceResult",
+    "ReductionFramework",
+    "cub_time",
+    "kokkos_time",
+    "openmp_time",
+]

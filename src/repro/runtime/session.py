@@ -1,0 +1,226 @@
+"""High-level runtime: compile once, then run or time any code version.
+
+:class:`ReductionFramework` is the public entry point of the library::
+
+    from repro import ReductionFramework
+
+    fw = ReductionFramework(op="add")
+    result = fw.run(data, version="p")          # Figure 6 version (p)
+    seconds = fw.time(len(data), "p", "kepler") # modelled wall time
+    label, _ = fw.best_version(len(data), "maxwell")
+
+Timing runs execute a *sampled* subset of blocks on the functional
+simulator to collect events, then feed the analytic per-architecture
+model. Events are architecture-independent, so one profile serves all
+three GPUs; profiles are cached per (version, n, tunables).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines import CUB_HOST_OVERHEAD_S, build_cub_plan, build_kokkos_plan
+from ..codegen.synthesize import Tunables, build_plan
+from ..core.pipeline import PreprocessResult, preprocess
+from ..core.sources import load_reduction_program
+from ..core.variants import (
+    FIG6,
+    Version,
+    enumerate_versions,
+    fig6_label,
+    prune_versions,
+)
+from ..cpu import openmp_reduce_time
+from ..gpusim import (
+    Architecture,
+    Device,
+    Executor,
+    PlanProfile,
+    get_architecture,
+    plan_time,
+)
+from ..vir import MemsetStep
+
+#: Default number of blocks executed when profiling large launches.
+_PROFILE_SAMPLE = 3
+
+
+@dataclass
+class ReduceResult:
+    """Outcome of a functional reduction run."""
+
+    value: float
+    version: Version
+    label: str
+    plan_name: str
+    profile: PlanProfile
+
+
+class ReductionFramework:
+    """DSL → AST passes → version synthesis → simulation/timing."""
+
+    def __init__(self, op: str = "add", ctype: str = "float", unroll: bool = False):
+        self.op = op
+        self.ctype = ctype
+        self.unroll = unroll
+        self.analyzed = load_reduction_program(op, ctype)
+        self.pre: PreprocessResult = preprocess(self.analyzed, unroll=unroll)
+        self.all_versions = enumerate_versions()
+        self.versions = prune_versions(self.all_versions)
+        self.catalog = dict(FIG6)
+        self._profile_cache = {}
+
+    # -- version resolution ------------------------------------------------
+
+    def resolve(self, version) -> Version:
+        if isinstance(version, Version):
+            return version
+        if isinstance(version, str):
+            if version in self.catalog:
+                return self.catalog[version]
+            for candidate in self.all_versions:
+                if candidate.identifier == version:
+                    return candidate
+            raise KeyError(
+                f"unknown version {version!r}; use a Figure 6 label "
+                f"(a-p) or a version identifier"
+            )
+        raise TypeError(f"cannot resolve version from {version!r}")
+
+    # -- functional execution -------------------------------------------------
+
+    def build(self, version, n: int, tunables: Tunables = None):
+        return build_plan(self.pre, self.resolve(version), n, tunables)
+
+    @property
+    def dtype(self):
+        """Device element type implied by the DSL element type."""
+        return np.int32 if self.ctype == "int" else np.float32
+
+    def run(
+        self, data: np.ndarray, version="p", tunables: Tunables = None
+    ) -> ReduceResult:
+        """Reduce ``data`` with one synthesized version, fully executed."""
+        data = np.ascontiguousarray(data, dtype=self.dtype)
+        if data.ndim != 1 or data.size == 0:
+            raise ValueError("run() needs a non-empty 1-D array")
+        resolved = self.resolve(version)
+        plan = build_plan(self.pre, resolved, data.size, tunables)
+        executor = Executor()
+        executor.device.upload("in", data)
+        profile = executor.run_plan(plan)
+        return ReduceResult(
+            value=profile.result,
+            version=resolved,
+            label=fig6_label(resolved),
+            plan_name=plan.name,
+            profile=profile,
+        )
+
+    # -- timing ---------------------------------------------------------------
+
+    def profile(
+        self, version, n: int, tunables: Tunables = None, sample_limit: int = None
+    ):
+        """Sampled event profile of one version at size n (cached)."""
+        resolved = self.resolve(version)
+        key = (resolved, n, tunables)
+        if key in self._profile_cache:
+            return self._profile_cache[key]
+        plan = build_plan(self.pre, resolved, n, tunables)
+        profile = _profile_plan(plan, n, sample_limit)
+        num_memsets = sum(
+            1 for step in plan.steps if isinstance(step, MemsetStep)
+        )
+        entry = (profile, num_memsets)
+        self._profile_cache[key] = entry
+        return entry
+
+    def time(
+        self,
+        n: int,
+        version,
+        arch,
+        tunables: Tunables = None,
+        sample_limit: int = None,
+    ) -> float:
+        """Modelled wall time (seconds) of one version on one architecture."""
+        arch = _resolve_arch(arch)
+        profile, num_memsets = self.profile(version, n, tunables, sample_limit)
+        return plan_time(profile, arch, num_memsets=num_memsets)
+
+    def best_version(
+        self,
+        n: int,
+        arch,
+        candidates=None,
+        tunables: Tunables = None,
+    ):
+        """Fastest version at size n on an architecture.
+
+        ``candidates`` defaults to the Figure 6 catalog (the versions the
+        paper plots); pass ``self.versions`` for the full pruned space.
+        """
+        arch = _resolve_arch(arch)
+        if candidates is None:
+            candidates = list(self.catalog)
+        best_key, best_time = None, float("inf")
+        for candidate in candidates:
+            seconds = self.time(n, candidate, arch, tunables)
+            if seconds < best_time:
+                best_key, best_time = candidate, seconds
+        return best_key, best_time
+
+
+# ---------------------------------------------------------------------
+# Baseline timing helpers (shared by benches and examples)
+# ---------------------------------------------------------------------
+
+_baseline_cache = {}
+
+
+def _profile_plan(plan, n: int, sample_limit: int = None) -> PlanProfile:
+    device = Device()
+    device.alloc("in", n, dtype=np.float32)
+    executor = Executor(device=device)
+    if sample_limit is None:
+        max_grid = max(step.grid for step in plan.kernel_steps())
+        sample_limit = None if max_grid <= 64 else _PROFILE_SAMPLE
+    return executor.run_plan(plan, sample_limit=sample_limit)
+
+
+def cub_time(n: int, arch, op: str = "add") -> float:
+    """Modelled wall time of the CUB-like baseline."""
+    arch = _resolve_arch(arch)
+    key = ("cub", n, op)
+    if key not in _baseline_cache:
+        plan = build_cub_plan(n, op)
+        _baseline_cache[key] = _profile_plan(plan, n)
+    profile = _baseline_cache[key]
+    return plan_time(
+        profile, arch, extra_host_overhead_s=CUB_HOST_OVERHEAD_S
+    )
+
+
+def kokkos_time(n: int, arch, op: str = "add") -> float:
+    """Modelled wall time of the Kokkos-like baseline."""
+    arch = _resolve_arch(arch)
+    key = ("kokkos", n, op)
+    if key not in _baseline_cache:
+        plan = build_kokkos_plan(n, op)
+        _baseline_cache[key] = _profile_plan(plan, n)
+    profile = _baseline_cache[key]
+    return plan_time(profile, arch)
+
+
+def openmp_time(n: int) -> float:
+    """Modelled wall time of the OpenMP CPU baseline."""
+    return openmp_reduce_time(n)
+
+
+def _resolve_arch(arch) -> Architecture:
+    if isinstance(arch, Architecture):
+        return arch
+    return get_architecture(arch)

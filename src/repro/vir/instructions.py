@@ -1,0 +1,317 @@
+"""VIR — a structured virtual SIMT instruction set.
+
+The synthesized codelets are lowered to VIR, which the GPU simulator in
+:mod:`repro.gpusim` executes. VIR mirrors the slice of PTX the paper's
+generated CUDA touches:
+
+* per-thread virtual registers and ALU ops;
+* special registers (``tid``, ``ctaid``, ``ntid``, ``nctaid``,
+  ``laneid``, ``warpid``);
+* global/shared loads and stores (with optional vectorized global loads,
+  the CUB "vector loads" optimization [37]);
+* atomics on global and shared memory with device/block scope
+  (Section III-A/III-B of the paper);
+* warp shuffles (``shfl.down``/``up``/``xor``/``idx``, Section III-C);
+* block barriers;
+* **structured** control flow (``If``/``While``) instead of raw branches —
+  this gives the simulator exact SIMT reconvergence semantics via lane
+  masks, the same model hardware implements with a reconvergence stack.
+
+Instructions are plain dataclasses; the printer in
+:mod:`repro.vir.printer` renders a stable text format used in golden
+tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# -- operands -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A per-thread virtual register."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"%{self.name}"
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate constant (int, float, or bool)."""
+
+    value: object
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+Operand = (Reg, Imm)
+
+
+def as_operand(value):
+    """Coerce Python scalars to :class:`Imm`; pass operands through."""
+    if isinstance(value, (Reg, Imm)):
+        return value
+    if isinstance(value, (bool, int, float)):
+        return Imm(value)
+    raise TypeError(f"cannot use {value!r} as a VIR operand")
+
+
+# -- opcode tables --------------------------------------------------------
+
+BINARY_OPS = frozenset(
+    {
+        "add", "sub", "mul", "div", "mod", "min", "max",
+        "and", "or", "xor", "shl", "shr",
+        "lt", "le", "gt", "ge", "eq", "ne",
+        "land", "lor",
+    }
+)
+
+UNARY_OPS = frozenset({"neg", "lnot", "bnot"})
+
+ATOMIC_OPS = frozenset({"add", "sub", "min", "max"})
+
+SHFL_MODES = frozenset({"down", "up", "xor", "idx"})
+
+SPECIAL_KINDS = frozenset({"tid", "ctaid", "ntid", "nctaid", "laneid", "warpid"})
+
+ATOMIC_SCOPES = frozenset({"device", "block", "system"})
+
+
+# -- instructions ---------------------------------------------------------
+
+
+@dataclass
+class Instr:
+    """Base class for all VIR instructions."""
+
+
+@dataclass
+class BinOp(Instr):
+    dst: Reg
+    op: str
+    a: object
+    b: object
+
+    def __post_init__(self):
+        if self.op not in BINARY_OPS:
+            raise ValueError(f"unknown binary op {self.op!r}")
+        self.a = as_operand(self.a)
+        self.b = as_operand(self.b)
+
+
+@dataclass
+class UnOp(Instr):
+    dst: Reg
+    op: str
+    a: object
+
+    def __post_init__(self):
+        if self.op not in UNARY_OPS:
+            raise ValueError(f"unknown unary op {self.op!r}")
+        self.a = as_operand(self.a)
+
+
+@dataclass
+class Mov(Instr):
+    dst: Reg
+    a: object
+
+    def __post_init__(self):
+        self.a = as_operand(self.a)
+
+
+@dataclass
+class Sel(Instr):
+    """``dst = cond ? a : b`` — branch-free select."""
+
+    dst: Reg
+    cond: object
+    a: object
+    b: object
+
+    def __post_init__(self):
+        self.cond = as_operand(self.cond)
+        self.a = as_operand(self.a)
+        self.b = as_operand(self.b)
+
+
+@dataclass
+class Special(Instr):
+    """Read a special (hardware) register."""
+
+    dst: Reg
+    kind: str
+
+    def __post_init__(self):
+        if self.kind not in SPECIAL_KINDS:
+            raise ValueError(f"unknown special register {self.kind!r}")
+
+
+@dataclass
+class LdParam(Instr):
+    """Load a host-provided scalar kernel parameter (uniform)."""
+
+    dst: Reg
+    name: str
+
+
+@dataclass
+class LdGlobal(Instr):
+    """Load ``width`` consecutive elements starting at ``idx``.
+
+    ``dst`` is a single register when ``width == 1``, otherwise a list of
+    ``width`` registers (the float4-style vectorized load).
+    """
+
+    dst: object
+    buf: str
+    idx: object
+    width: int = 1
+
+    def __post_init__(self):
+        self.idx = as_operand(self.idx)
+        if self.width == 1:
+            if not isinstance(self.dst, Reg):
+                raise ValueError("scalar LdGlobal needs a single Reg dst")
+        else:
+            if not (isinstance(self.dst, list) and len(self.dst) == self.width):
+                raise ValueError("vector LdGlobal needs one dst per element")
+
+
+@dataclass
+class StGlobal(Instr):
+    buf: str
+    idx: object
+    src: object
+
+    def __post_init__(self):
+        self.idx = as_operand(self.idx)
+        self.src = as_operand(self.src)
+
+
+@dataclass
+class LdShared(Instr):
+    dst: Reg
+    buf: str
+    idx: object
+
+    def __post_init__(self):
+        self.idx = as_operand(self.idx)
+
+
+@dataclass
+class StShared(Instr):
+    buf: str
+    idx: object
+    src: object
+
+    def __post_init__(self):
+        self.idx = as_operand(self.idx)
+        self.src = as_operand(self.src)
+
+
+@dataclass
+class AtomGlobal(Instr):
+    """Atomic read-modify-write on global memory.
+
+    ``scope`` follows the Pascal scoped-atomics model: ``device`` is the
+    default; ``block`` maps to ``atomicAdd_block``; ``system`` to
+    ``atomicAdd_system`` (Section II-A-2).
+    """
+
+    op: str
+    buf: str
+    idx: object
+    src: object
+    scope: str = "device"
+
+    def __post_init__(self):
+        if self.op not in ATOMIC_OPS:
+            raise ValueError(f"unknown atomic op {self.op!r}")
+        if self.scope not in ATOMIC_SCOPES:
+            raise ValueError(f"unknown atomic scope {self.scope!r}")
+        self.idx = as_operand(self.idx)
+        self.src = as_operand(self.src)
+
+
+@dataclass
+class AtomShared(Instr):
+    op: str
+    buf: str
+    idx: object
+    src: object
+
+    def __post_init__(self):
+        if self.op not in ATOMIC_OPS:
+            raise ValueError(f"unknown atomic op {self.op!r}")
+        self.idx = as_operand(self.idx)
+        self.src = as_operand(self.src)
+
+
+@dataclass
+class Shfl(Instr):
+    """Warp shuffle: exchange register values inside one warp."""
+
+    dst: Reg
+    src: Reg
+    mode: str
+    offset: object
+    width: int = 32
+
+    def __post_init__(self):
+        if self.mode not in SHFL_MODES:
+            raise ValueError(f"unknown shuffle mode {self.mode!r}")
+        self.offset = as_operand(self.offset)
+        if self.width not in (1, 2, 4, 8, 16, 32):
+            raise ValueError("shuffle width must be a power of two <= 32")
+
+
+@dataclass
+class Bar(Instr):
+    """Block-wide barrier (``__syncthreads``)."""
+
+
+@dataclass
+class If(Instr):
+    cond: Reg
+    then: list = field(default_factory=list)
+    otherwise: list = field(default_factory=list)
+
+
+@dataclass
+class While(Instr):
+    """Structured loop.
+
+    Each iteration first executes ``cond_block`` (which must set
+    ``cond``), then — for lanes where ``cond`` holds — the ``body``.
+    Lanes whose condition is false stay inactive until every lane in the
+    block is done (SIMT reconvergence).
+    """
+
+    cond_block: list
+    cond: Reg
+    body: list = field(default_factory=list)
+
+
+@dataclass
+class Comment(Instr):
+    text: str
+
+
+def walk_instrs(body: list):
+    """Yield every instruction in a body, descending into regions."""
+    for instr in body:
+        yield instr
+        if isinstance(instr, If):
+            yield from walk_instrs(instr.then)
+            yield from walk_instrs(instr.otherwise)
+        elif isinstance(instr, While):
+            yield from walk_instrs(instr.cond_block)
+            yield from walk_instrs(instr.body)

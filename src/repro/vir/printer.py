@@ -1,0 +1,116 @@
+"""Stable text rendering of VIR kernels, used for debugging and golden tests."""
+
+from __future__ import annotations
+
+from .instructions import (
+    AtomGlobal,
+    AtomShared,
+    Bar,
+    BinOp,
+    Comment,
+    If,
+    LdGlobal,
+    LdParam,
+    LdShared,
+    Mov,
+    Sel,
+    Shfl,
+    Special,
+    StGlobal,
+    StShared,
+    UnOp,
+    While,
+)
+from .program import Kernel, KernelStep, MemsetStep, Plan
+
+
+def format_instr(instr, indent: int = 0) -> str:
+    pad = "  " * indent
+    if isinstance(instr, Comment):
+        return f"{pad}; {instr.text}"
+    if isinstance(instr, BinOp):
+        return f"{pad}{instr.dst} = {instr.op} {instr.a}, {instr.b}"
+    if isinstance(instr, UnOp):
+        return f"{pad}{instr.dst} = {instr.op} {instr.a}"
+    if isinstance(instr, Mov):
+        return f"{pad}{instr.dst} = mov {instr.a}"
+    if isinstance(instr, Sel):
+        return f"{pad}{instr.dst} = sel {instr.cond}, {instr.a}, {instr.b}"
+    if isinstance(instr, Special):
+        return f"{pad}{instr.dst} = %{instr.kind}"
+    if isinstance(instr, LdParam):
+        return f"{pad}{instr.dst} = ld.param [{instr.name}]"
+    if isinstance(instr, LdGlobal):
+        if instr.width == 1:
+            return f"{pad}{instr.dst} = ld.global [{instr.buf} + {instr.idx}]"
+        dsts = ", ".join(str(d) for d in instr.dst)
+        return (
+            f"{pad}{{{dsts}}} = ld.global.v{instr.width} "
+            f"[{instr.buf} + {instr.idx}]"
+        )
+    if isinstance(instr, StGlobal):
+        return f"{pad}st.global [{instr.buf} + {instr.idx}], {instr.src}"
+    if isinstance(instr, LdShared):
+        return f"{pad}{instr.dst} = ld.shared [{instr.buf} + {instr.idx}]"
+    if isinstance(instr, StShared):
+        return f"{pad}st.shared [{instr.buf} + {instr.idx}], {instr.src}"
+    if isinstance(instr, AtomGlobal):
+        return (
+            f"{pad}atom.global.{instr.scope}.{instr.op} "
+            f"[{instr.buf} + {instr.idx}], {instr.src}"
+        )
+    if isinstance(instr, AtomShared):
+        return f"{pad}atom.shared.{instr.op} [{instr.buf} + {instr.idx}], {instr.src}"
+    if isinstance(instr, Shfl):
+        return (
+            f"{pad}{instr.dst} = shfl.{instr.mode} {instr.src}, "
+            f"{instr.offset}, w={instr.width}"
+        )
+    if isinstance(instr, Bar):
+        return f"{pad}bar.sync"
+    if isinstance(instr, If):
+        lines = [f"{pad}if {instr.cond} {{"]
+        lines += [format_instr(i, indent + 1) for i in instr.then]
+        if instr.otherwise:
+            lines.append(f"{pad}}} else {{")
+            lines += [format_instr(i, indent + 1) for i in instr.otherwise]
+        lines.append(f"{pad}}}")
+        return "\n".join(lines)
+    if isinstance(instr, While):
+        lines = [f"{pad}while {{"]
+        lines += [format_instr(i, indent + 1) for i in instr.cond_block]
+        lines.append(f"{pad}}} test {instr.cond} {{")
+        lines += [format_instr(i, indent + 1) for i in instr.body]
+        lines.append(f"{pad}}}")
+        return "\n".join(lines)
+    raise TypeError(f"cannot print {type(instr).__name__}")
+
+
+def format_kernel(kernel: Kernel) -> str:
+    header = (
+        f".kernel {kernel.name}"
+        f"(params: {', '.join(kernel.params) or '-'};"
+        f" buffers: {', '.join(kernel.buffers) or '-'})"
+    )
+    lines = [header]
+    for decl in kernel.shared:
+        lines.append(f"  .shared {decl.name}[{decl.size}]")
+    lines += [format_instr(i, 1) for i in kernel.body]
+    return "\n".join(lines)
+
+
+def format_plan(plan: Plan) -> str:
+    lines = [f".plan {plan.name} -> {plan.result_buffer}[{plan.result_index}]"]
+    for name, size in sorted(plan.scratch.items()):
+        lines.append(f"  .scratch {name}[{size}]")
+    for step in plan.steps:
+        if isinstance(step, MemsetStep):
+            lines.append(f"  memset {step.buffer}, {step.value}")
+        elif isinstance(step, KernelStep):
+            args = ", ".join(f"{k}={v}" for k, v in sorted(step.args.items()))
+            bufs = ", ".join(f"{k}->{v}" for k, v in sorted(step.buffers.items()))
+            lines.append(
+                f"  launch {step.kernel.name}<<<{step.grid}, {step.block}>>>"
+                f"({args}) [{bufs}]"
+            )
+    return "\n".join(lines)

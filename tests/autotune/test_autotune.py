@@ -1,0 +1,97 @@
+"""Tests for the autotuner and the DySel-style runtime selector."""
+
+import numpy as np
+import pytest
+
+from repro.autotune import (
+    DynamicSelector,
+    best_tuned_version,
+    configurations,
+    tune_all,
+    tune_version,
+)
+from repro.codegen.synthesize import Tunables
+from repro.core import FIG6
+
+
+class TestConfigurations:
+    def test_coop_versions_ignore_grid(self, fw_add):
+        configs = configurations(FIG6["p"], blocks=(64, 256), grids=(None, 128))
+        assert len(configs) == 2
+        assert all(c.grid is None for c in configs)
+
+    def test_compound_versions_sweep_grid(self):
+        configs = configurations(FIG6["b"], blocks=(64, 256), grids=(None, 128))
+        assert len(configs) == 4
+
+
+class TestTuneVersion:
+    def test_returns_best_of_trials(self, fw_add):
+        result = tune_version(
+            fw_add, "p", 4096, "maxwell", blocks=(64, 256), grids=(None,)
+        )
+        assert result.time_s == min(t for _, t in result.trials)
+        assert isinstance(result.tunables, Tunables)
+        assert len(result.trials) == 2
+
+    def test_compound_grid_tuning_helps_large(self, fw_add):
+        """At large sizes the partition count matters (thread coarsening)."""
+        result = tune_version(
+            fw_add, "b", 4_194_304, "kepler",
+            blocks=(256,), grids=(None, 32, 1024),
+        )
+        times = [t for _, t in result.trials]
+        assert max(times) > result.time_s  # the sweep found a real winner
+
+
+class TestTuneAll:
+    def test_covers_candidates(self, fw_add):
+        results = tune_all(
+            fw_add, 1024, "maxwell", candidates=["n", "p"],
+            blocks=(64,), grids=(None,),
+        )
+        assert set(results) == {"n", "p"}
+
+    def test_best_tuned_version(self, fw_add):
+        key, tunables, seconds = best_tuned_version(
+            fw_add, 1024, "maxwell", candidates=["l", "n", "p"],
+            blocks=(64, 256), grids=(None,),
+        )
+        assert key in ("l", "n", "p")
+        assert seconds > 0
+
+
+class TestDynamicSelector:
+    @pytest.fixture(scope="class")
+    def selector(self):
+        from repro import ReductionFramework
+
+        fw = ReductionFramework("add")
+        return DynamicSelector.build(
+            fw,
+            "maxwell",
+            sizes=(256, 65_536, 1_048_576),
+            candidates=["n", "m", "p", "b"],
+            blocks=(64, 256),
+            grids=(None,),
+        )
+
+    def test_table_sorted_by_size(self, selector):
+        sizes = [entry.max_n for entry in selector.entries]
+        assert sizes == sorted(sizes)
+
+    def test_select_picks_covering_bucket(self, selector):
+        assert selector.select(100).max_n == 256
+        assert selector.select(70_000).max_n == 1_048_576
+        # beyond the largest bucket, the last entry is used
+        assert selector.select(10 ** 9).max_n == 1_048_576
+
+    def test_reduce_runs_selected_version(self, selector, rng):
+        data = rng.random(5000).astype(np.float32)
+        result = selector.reduce(data)
+        assert result.value == pytest.approx(float(data.sum()), rel=1e-4)
+
+    def test_empty_selector_rejected(self, fw_add):
+        empty = DynamicSelector(framework=fw_add, arch="maxwell")
+        with pytest.raises(RuntimeError):
+            empty.select(10)

@@ -1,0 +1,132 @@
+"""Golden-style tests for CUDA C emission (the paper's Listings 1-4)."""
+
+import pytest
+
+from repro.codegen.cuda import emit_compound_pair, emit_coop_kernel, emit_version
+from repro.core import FIG6
+
+
+class TestListing3Shape:
+    """VA2 renders like Listing 3: shared atomics on the accumulator."""
+
+    @pytest.fixture(scope="class")
+    def text(self, fw_add=None):
+        from repro import ReductionFramework
+
+        fw = ReductionFramework("add")
+        return emit_coop_kernel(fw.pre.coop_variant("VA2"), op="add")
+
+    def test_kernel_signature(self, text):
+        assert "__global__" in text
+        assert "float *Return, float *input_x, int SourceSize, int ObjectSize" in text
+
+    def test_shared_accumulator_declared_and_initialized(self, text):
+        assert "__shared__ float partial;" in text
+        assert "if (threadIdx.x == 0)" in text
+
+    def test_dynamic_shared_array_is_extern(self, text):
+        # Listing 3 line 9: in.Size()-sized arrays are extern __shared__
+        assert "extern __shared__ float tmp[];" in text
+
+    def test_atomic_add_on_shared(self, text):
+        # Listing 3 line 27
+        assert "atomicAdd(&partial, val);" in text
+
+    def test_tree_loop_retained(self, text):
+        assert "for (int offset = 32 / 2; offset > 0; offset /= 2)" in text
+
+    def test_syncthreads_after_shared_writes(self, text):
+        assert text.count("__syncthreads();") >= 3
+
+    def test_source_size_guard(self, text):
+        # Listing 3 lines 13-14
+        assert "(blockIdx.x * blockDim.x + threadIdx.x) < SourceSize" in text
+
+    def test_result_written_by_thread_zero(self, text):
+        assert "Return[blockID] = val;" in text
+
+
+class TestListing4Shape:
+    """VS renders like Listing 4: shuffles, tmp disabled, partial kept."""
+
+    @pytest.fixture(scope="class")
+    def text(self):
+        from repro import ReductionFramework
+
+        fw = ReductionFramework("add")
+        return emit_coop_kernel(fw.pre.coop_variant("VS"), op="add")
+
+    def test_shuffles_emitted(self, text):
+        assert text.count("__shfl_down(val, offset, 32)") == 2
+
+    def test_tmp_array_disabled(self, text):
+        assert "tmp" not in text
+
+    def test_partial_array_retained_static(self, text):
+        # Listing 4 line 5: partial[32], statically sized by MaxSize()
+        assert "__shared__ float partial[32];" in text
+
+    def test_warp_mapping(self, text):
+        # Figure 2's CUDA equivalences
+        assert "threadIdx.x % warpSize" in text
+        assert "threadIdx.x / warpSize" in text
+
+
+class TestListings1And2:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        from repro import ReductionFramework
+
+        fw = ReductionFramework("add")
+        return emit_compound_pair(fw.pre, "tile")
+
+    def test_non_atomic_allocates_partials_array(self, pair):
+        assert "new float[p];" in pair["non_atomic"]
+        assert "(p) * sizeof(float)" in pair["non_atomic"]
+
+    def test_atomic_allocates_single_accumulator(self, pair):
+        # Listing 2: cudaMalloc of one element
+        assert "cudaMalloc(&map_return_block, sizeof(float));" in pair["atomic"]
+        assert "new float[1];" in pair["atomic"]
+
+    def test_atomic_uses_block_scope_then_device_scope(self, pair):
+        assert "atomicAdd_block(Return, accum);" in pair["atomic"]
+        assert "atomicAdd(Return, map_return[0]);" in pair["atomic"]
+
+    def test_non_atomic_has_no_atomics(self, pair):
+        assert "atomicAdd" not in pair["non_atomic"]
+
+    def test_spectrum_disabled_flag(self, pair):
+        assert pair["spectrum_disabled"]
+
+    def test_template_parameter(self, pair):
+        for key in ("atomic", "non_atomic"):
+            assert "template <unsigned int TGM_TEMPLATE_0>" in pair[key]
+
+
+class TestEmitVersion:
+    def test_full_program_for_coop_version(self):
+        from repro import ReductionFramework
+
+        fw = ReductionFramework("add")
+        text = emit_version(fw.pre, FIG6["p"])
+        assert "Figure 6 (p)" in text
+        assert "__global__" in text
+        assert "__shfl_down" in text
+
+    def test_full_program_for_compound_version(self):
+        from repro import ReductionFramework
+
+        fw = ReductionFramework("add")
+        text = emit_version(fw.pre, FIG6["b"])
+        assert "Reduce_Grid" in text
+        assert "Reduce_Thread" in text
+
+    def test_max_reduction_uses_atomic_max(self):
+        from repro import ReductionFramework
+
+        fw = ReductionFramework("max")
+        text = emit_coop_kernel(fw.pre.coop_variant("VA1"), op="max")
+        assert "atomicMax(&tmp, val);" in text
+        # identity padding instead of zero
+        assert "-3.402823e+38f" in text or "-3.402823e38f" in text

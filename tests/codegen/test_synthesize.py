@@ -1,0 +1,152 @@
+"""Tests for version synthesis: geometry, plan structure, correctness."""
+
+import numpy as np
+import pytest
+
+from repro.codegen.synthesize import Tunables, build_plan, launch_geometry
+from repro.core import FIG6, Version
+from repro.lang.errors import SynthesisError
+from repro.vir import KernelStep, MemsetStep
+
+
+class TestTunables:
+    def test_block_must_be_warp_multiple(self):
+        with pytest.raises(SynthesisError):
+            Tunables(block=100)
+
+    def test_block_range(self):
+        with pytest.raises(SynthesisError):
+            Tunables(block=2048)
+        with pytest.raises(SynthesisError):
+            Tunables(block=0)
+
+    def test_grid_positive(self):
+        with pytest.raises(SynthesisError):
+            Tunables(grid=0)
+
+
+class TestGeometry:
+    def test_coop_block_covers_input(self):
+        geometry = launch_geometry(FIG6["p"], 10_000, Tunables(block=256))
+        assert geometry["grid"] == -(-10_000 // 256)
+        assert geometry["epb"] == 256
+        assert geometry["coarsen"] == 1
+
+    def test_compound_coarsening(self):
+        geometry = launch_geometry(FIG6["b"], 1_000_000, Tunables(block=256))
+        assert geometry["grid"] <= 1024
+        assert geometry["coarsen"] >= 2
+        assert geometry["grid"] * geometry["epb"] >= 1_000_000
+
+    def test_compound_with_explicit_grid(self):
+        geometry = launch_geometry(
+            FIG6["b"], 100_000, Tunables(block=128, grid=64)
+        )
+        assert geometry["grid"] == 64
+        assert geometry["epb"] == geometry["coarsen"] * 128
+
+    def test_n_must_be_positive(self):
+        with pytest.raises(SynthesisError):
+            launch_geometry(FIG6["p"], 0, Tunables())
+
+    def test_tiny_input_single_block(self):
+        geometry = launch_geometry(FIG6["p"], 5, Tunables(block=64))
+        assert geometry["grid"] == 1
+
+
+class TestPlanStructure:
+    def test_atomic_version_single_kernel_with_memset(self, fw_add):
+        plan = build_plan(fw_add.pre, FIG6["p"], 1000)
+        kinds = [type(step).__name__ for step in plan.steps]
+        assert kinds == ["MemsetStep", "KernelStep"]
+        assert plan.num_kernel_launches() == 1
+
+    def test_second_kernel_version_two_launches(self, fw_add):
+        version = Version(
+            grid_pattern="tile",
+            final_combine="second_kernel",
+            block_kind="coop",
+            combine="V",
+        )
+        plan = build_plan(fw_add.pre, version, 1000)
+        assert plan.num_kernel_launches() == 2
+        assert "partials" in plan.scratch
+
+    def test_plan_meta_records_version(self, fw_add):
+        plan = build_plan(fw_add.pre, FIG6["m"], 1000)
+        assert plan.meta["label"] == "m"
+        assert plan.meta["op"] == "add"
+        assert plan.meta["version"] == FIG6["m"].identifier
+
+    def test_kernel_meta_flags(self, fw_add):
+        plan = build_plan(fw_add.pre, FIG6["p"], 1000)
+        kernel = plan.kernel_steps()[0].kernel
+        assert kernel.meta["uses_shuffle"]
+        assert kernel.meta["uses_shared_atomic"]
+        assert kernel.meta["load_pattern"] == "scalar"
+
+    def test_shuffle_variant_has_shfl_instructions(self, fw_add):
+        from repro.vir import Shfl, walk_instrs
+
+        plan = build_plan(fw_add.pre, FIG6["m"], 1000)
+        kernel = plan.kernel_steps()[0].kernel
+        shfls = [i for i in walk_instrs(kernel.body) if isinstance(i, Shfl)]
+        assert shfls
+
+    def test_shared_atomic_variant_has_atom_shared(self, fw_add):
+        from repro.vir import AtomShared, walk_instrs
+
+        plan = build_plan(fw_add.pre, FIG6["n"], 1000)
+        kernel = plan.kernel_steps()[0].kernel
+        atoms = [i for i in walk_instrs(kernel.body) if isinstance(i, AtomShared)]
+        assert atoms
+
+    def test_shuffle_variant_smaller_shared_footprint(self, fw_add):
+        """Listing 4's point: VS disables tmp, shrinking shared memory."""
+        tree = build_plan(fw_add.pre, FIG6["l"], 1000)  # V
+        shuffle = build_plan(fw_add.pre, FIG6["m"], 1000)  # VS
+        tree_bytes = tree.kernel_steps()[0].kernel.shared_bytes()
+        shuffle_bytes = shuffle.kernel_steps()[0].kernel.shared_bytes()
+        assert shuffle_bytes < tree_bytes
+
+    def test_va1_minimal_shared_footprint(self, fw_add):
+        plan = build_plan(fw_add.pre, FIG6["n"], 1000)
+        assert plan.kernel_steps()[0].kernel.shared_bytes() == 4  # 1 float
+
+    def test_memset_initializes_to_identity_for_max(self, fw_max):
+        plan = build_plan(fw_max.pre, FIG6["p"], 1000)
+        memset = [s for s in plan.steps if isinstance(s, MemsetStep)][0]
+        assert memset.value < -1e38
+
+
+class TestCorrectnessSpotChecks:
+    @pytest.mark.parametrize("label", ["a", "e", "k", "m", "n", "p"])
+    def test_odd_sizes(self, fw_add, run_plan, rng, label):
+        for n in (1, 31, 33, 255, 257, 1023):
+            data = rng.random(n).astype(np.float32)
+            plan = build_plan(fw_add.pre, FIG6[label], n)
+            result = run_plan(plan, data)
+            assert result == pytest.approx(float(data.sum(dtype=np.float64)),
+                                           rel=1e-4), (label, n)
+
+    def test_negative_values_max(self, fw_max, run_plan, rng):
+        data = (-rng.random(500) - 1.0).astype(np.float32)
+        plan = build_plan(fw_max.pre, FIG6["p"], 500)
+        assert run_plan(plan, data) == pytest.approx(float(data.max()), rel=1e-6)
+
+    def test_negative_values_min(self, fw_min, run_plan, rng):
+        data = (rng.random(500) - 0.5).astype(np.float32)
+        plan = build_plan(fw_min.pre, FIG6["n"], 500)
+        assert run_plan(plan, data) == pytest.approx(float(data.min()), abs=1e-6)
+
+    def test_all_block_sizes(self, fw_add, run_plan, rng):
+        data = rng.random(5000).astype(np.float32)
+        expected = float(data.sum(dtype=np.float64))
+        for block in (32, 64, 128, 256, 512, 1024):
+            plan = build_plan(fw_add.pre, FIG6["p"], 5000, Tunables(block=block))
+            assert run_plan(plan, data) == pytest.approx(expected, rel=1e-4), block
+
+    def test_constant_input(self, fw_add, run_plan):
+        data = np.full(4096, 0.5, dtype=np.float32)
+        plan = build_plan(fw_add.pre, FIG6["e"], 4096)
+        assert run_plan(plan, data) == pytest.approx(2048.0, rel=1e-5)

@@ -1,0 +1,45 @@
+"""Shared fixtures: session-scoped frameworks (compile once, test many)."""
+
+import numpy as np
+import pytest
+
+from repro import ReductionFramework
+from repro.gpusim.engine import Executor
+
+
+@pytest.fixture(scope="session")
+def fw_add():
+    return ReductionFramework(op="add")
+
+
+@pytest.fixture(scope="session")
+def fw_max():
+    return ReductionFramework(op="max")
+
+
+@pytest.fixture(scope="session")
+def fw_min():
+    return ReductionFramework(op="min")
+
+
+@pytest.fixture(scope="session")
+def pre_add(fw_add):
+    return fw_add.pre
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)
+
+
+def run_reduction_plan(plan, data):
+    """Execute a plan on ``data``; returns the numeric result."""
+    executor = Executor()
+    executor.device.upload("in", np.asarray(data, dtype=np.float32))
+    profile = executor.run_plan(plan)
+    return profile.result
+
+
+@pytest.fixture()
+def run_plan():
+    return run_reduction_plan

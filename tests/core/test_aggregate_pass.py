@@ -1,0 +1,155 @@
+"""Tests for the warp-aggregated atomics extension pass (Section III-D)."""
+
+import numpy as np
+import pytest
+
+from repro import ReductionFramework
+from repro.core import Version
+from repro.core.aggregate import apply_warp_aggregation
+from repro.core.atomics_shared import apply_shared_atomics
+from repro.lang import analyze_source, ast
+
+
+def va1_codelet(op_qualifier="_atomicAdd", write="t = val;"):
+    text = f"""
+__codelet __coop
+float f(const Array<1,float> in) {{
+  Vector vt();
+  __shared {op_qualifier} float t;
+  float val = 0.0f;
+  val = (vt.ThreadId() < in.Size()) ? in[vt.ThreadId()] : 0.0f;
+  {write}
+  return t;
+}}
+"""
+    codelet = analyze_source(text).codelets[0].codelet
+    return apply_shared_atomics(codelet).codelet
+
+
+class TestPass:
+    def test_uniform_scalar_atomic_aggregated(self):
+        result = apply_warp_aggregation(va1_codelet())
+        assert result.rewrites == 1
+        shuffles = [n for n in ast.walk(result.codelet)
+                    if isinstance(n, ast.WarpShuffle)]
+        assert shuffles, "aggregation must introduce a shuffle reduction"
+        # the atomic survives, but guarded by LaneId() == 0
+        updates = [n for n in ast.walk(result.codelet)
+                   if isinstance(n, ast.AtomicUpdate)]
+        assert len(updates) == 1
+
+    def test_leader_guard_inserted(self):
+        result = apply_warp_aggregation(va1_codelet())
+        guards = [
+            n for n in ast.walk(result.codelet)
+            if isinstance(n, ast.If)
+            and isinstance(n.cond, ast.Binary)
+            and isinstance(n.cond.lhs, ast.MethodCall)
+            and n.cond.lhs.method == "LaneId"
+        ]
+        assert guards
+
+    def test_divergent_atomic_not_aggregated(self):
+        """An atomic inside an If may be divergent — must be left alone."""
+        text = """
+__codelet __coop
+float f(const Array<1,float> in) {
+  Vector vt();
+  __shared _atomicAdd float t;
+  float val = 1.0f;
+  if (vt.ThreadId() < in.Size()) {
+    t = val;
+  }
+  return t;
+}
+"""
+        codelet = analyze_source(text).codelets[0].codelet
+        transformed = apply_shared_atomics(codelet).codelet
+        result = apply_warp_aggregation(transformed)
+        assert result.rewrites == 0
+
+    def test_array_atomic_not_aggregated(self):
+        """Histogram-style per-lane addresses cannot be warp-aggregated."""
+        text = """
+__codelet __coop
+int f(const Array<1,int> in) {
+  Vector vt();
+  __shared _atomicAdd int hist[32];
+  hist[vt.LaneId()] += 1;
+  return 0;
+}
+"""
+        codelet = analyze_source(text).codelets[0].codelet
+        transformed = apply_shared_atomics(codelet).codelet
+        result = apply_warp_aggregation(transformed)
+        assert result.rewrites == 0
+
+    def test_non_cooperative_untouched(self):
+        text = """
+__codelet
+int f(const Array<1,int> in) {
+  int acc = 0;
+  for (unsigned i = 0; i < in.Size(); i += 1) { acc += in[i]; }
+  return acc;
+}
+"""
+        codelet = analyze_source(text).codelets[0].codelet
+        assert apply_warp_aggregation(codelet).rewrites == 0
+
+    def test_max_aggregation_uses_max_combine(self):
+        codelet = va1_codelet(op_qualifier="_atomicMax")
+        result = apply_warp_aggregation(codelet)
+        assert result.rewrites == 1
+        calls = [n for n in ast.walk(result.codelet)
+                 if isinstance(n, ast.Call) and n.name == "max"]
+        assert any(
+            isinstance(c.args[1], ast.WarpShuffle)
+            for c in calls if len(c.args) == 2
+        )
+
+
+class TestEndToEnd:
+    VA1A = Version(
+        grid_pattern="tile", final_combine="global_atomic",
+        block_kind="coop", combine="VA1A",
+    )
+
+    def test_pipeline_generates_va1a(self, fw_add):
+        assert "VA1A" in fw_add.pre.coop
+        variant = fw_add.pre.coop_variant("VA1A")
+        assert variant.uses_shuffle and variant.uses_shared_atomic
+
+    def test_va1a_correct(self, fw_add, rng):
+        data = rng.random(7777).astype(np.float32)
+        result = fw_add.run(data, self.VA1A)
+        assert result.value == pytest.approx(
+            float(data.sum(dtype=np.float64)), rel=1e-4
+        )
+
+    def test_va1a_slashes_atomic_traffic(self, fw_add, rng):
+        data = rng.random(8192).astype(np.float32)
+        plain = fw_add.run(data, "n").profile.steps[0].events
+        aggregated = fw_add.run(data, self.VA1A).profile.steps[0].events
+        assert aggregated["atom.shared.ops"] * 16 < plain["atom.shared.ops"]
+        assert aggregated["inst.shfl"] > 0
+
+    def test_va1a_rescues_kepler(self, fw_add):
+        """On Kepler, aggregation turns the pathological (n) into a
+        competitive version — the trick of [25]."""
+        n = 1_048_576
+        t_va1 = fw_add.time(n, "n", "kepler")
+        t_va1a = fw_add.time(n, self.VA1A, "kepler")
+        assert t_va1a < t_va1 / 3
+
+    def test_enumeration_counts_unchanged(self):
+        """VA1A is an extension variant: the paper-matching counts of the
+        canonical enumeration must not change."""
+        from repro.core import enumerate_versions, prune_versions
+
+        assert len(enumerate_versions()) == 60
+        assert len(prune_versions(enumerate_versions())) == 30
+
+    def test_max_reduction_with_aggregation(self, fw_max, rng):
+        data = ((rng.random(5000) - 0.5) * 40).astype(np.float32)
+        result = fw_max.run(data, self.VA1A)
+        assert result.value == pytest.approx(float(data.max()))

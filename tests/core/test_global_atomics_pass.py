@@ -1,0 +1,179 @@
+"""Tests for the global-memory atomic Map-API pass (Section III-A)."""
+
+import pytest
+
+from repro.core import (
+    apply_global_atomic,
+    classify_partition,
+    infer_reduction_op,
+)
+from repro.core.sources import load_reduction_program
+from repro.lang import analyze_source, ast
+from repro.lang.errors import TransformError
+
+
+@pytest.fixture(scope="module")
+def program():
+    return load_reduction_program("add", "float")
+
+
+class TestInferReductionOp:
+    def test_add(self, program):
+        assert infer_reduction_op(program, "reduce") == "add"
+
+    def test_max(self):
+        assert infer_reduction_op(load_reduction_program("max"), "reduce") == "max"
+
+    def test_min(self):
+        assert infer_reduction_op(load_reduction_program("min"), "reduce") == "min"
+
+    def test_sub_via_custom_source(self):
+        text = """
+__codelet int f(const Array<1,int> in) {
+  int acc = 0;
+  for (unsigned i = 0; i < in.Size(); i += 1) { acc -= in[i]; }
+  return acc;
+}
+"""
+        assert infer_reduction_op(analyze_source(text), "f") == "sub"
+
+    def test_unrecognizable_rejected(self):
+        text = """
+__codelet int f(const Array<1,int> in) {
+  int acc = 0;
+  for (unsigned i = 0; i < in.Size(); i += 1) { acc = acc * 2; }
+  return acc;
+}
+"""
+        with pytest.raises(TransformError):
+            infer_reduction_op(analyze_source(text), "f")
+
+
+class TestClassifyPartition:
+    def test_tile(self, program):
+        assert classify_partition(program.find("reduce", "tile")) == "tile"
+
+    def test_stride(self, program):
+        assert classify_partition(program.find("reduce", "stride")) == "stride"
+
+    def test_non_compound_rejected(self, program):
+        with pytest.raises(TransformError):
+            classify_partition(program.find("reduce", "scalar"))
+
+    def test_unsupported_increment_rejected(self):
+        text = """
+__codelet int g(const Array<1,int> in) { return 0; }
+__codelet int f(const Array<1,int> in) {
+  __tunable unsigned p;
+  Sequence start(i);
+  Sequence inc(i * 2);
+  Sequence end(in.Size());
+  Map m(g, partition(in, p, start, inc, end));
+  return g(m);
+}
+"""
+        analyzed = analyze_source(text)
+        info = [c for c in analyzed.codelets if c.kind == "compound"][0]
+        with pytest.raises(TransformError):
+            classify_partition(info)
+
+
+class TestAtomicVariant:
+    def test_spectrum_call_disabled_when_same_computation(self, program):
+        info = program.find("reduce", "tile")
+        result = apply_global_atomic(info, program, atomic=True)
+        assert result.atomic
+        assert result.atomic_op == "add"
+        assert result.spectrum_disabled
+        # the return now yields the map accumulator directly (Listing 2)
+        returns = [n for n in ast.walk(result.codelet) if isinstance(n, ast.Return)]
+        assert isinstance(returns[0].value, ast.Ident)
+        assert returns[0].value.name == result.map_name
+
+    def test_spectrum_call_kept_when_different_computation(self):
+        """The paper's rule: if the spectrum's computation differs from
+        the atomic API's, the spectrum call must NOT be disabled."""
+        text = """
+__codelet int g(const Array<1,int> in) {
+  int acc = 0;
+  for (unsigned i = 0; i < in.Size(); i += 1) { acc += in[i]; }
+  return acc;
+}
+__codelet int f(const Array<1,int> in) {
+  __tunable unsigned p;
+  Sequence start(i);
+  Sequence inc(p);
+  Sequence end(in.Size());
+  Map m(g, partition(in, p, start, inc, end));
+  m.atomicMax();
+  return g(m);
+}
+"""
+        analyzed = analyze_source(text)
+        info = [c for c in analyzed.codelets if c.kind == "compound"][0]
+        result = apply_global_atomic(info, analyzed, atomic=True)
+        assert result.atomic
+        assert not result.spectrum_disabled
+        calls = [
+            n
+            for n in ast.walk(result.codelet)
+            if isinstance(n, ast.Call) and n.name == "g"
+        ]
+        assert calls  # spectrum call survives
+
+    def test_atomic_variant_requires_api_call(self):
+        text = """
+__codelet int g(const Array<1,int> in) {
+  int acc = 0;
+  for (unsigned i = 0; i < in.Size(); i += 1) { acc += in[i]; }
+  return acc;
+}
+__codelet int f(const Array<1,int> in) {
+  __tunable unsigned p;
+  Sequence start(i);
+  Sequence inc(p);
+  Sequence end(in.Size());
+  Map m(g, partition(in, p, start, inc, end));
+  return g(m);
+}
+"""
+        analyzed = analyze_source(text)
+        info = [c for c in analyzed.codelets if c.kind == "compound"][0]
+        with pytest.raises(TransformError):
+            apply_global_atomic(info, analyzed, atomic=True)
+        # but the non-atomic variant is fine
+        result = apply_global_atomic(info, analyzed, atomic=False)
+        assert not result.atomic
+
+
+class TestNonAtomicVariant:
+    def test_atomic_api_call_removed(self, program):
+        info = program.find("reduce", "tile")
+        result = apply_global_atomic(info, program, atomic=False)
+        assert not result.atomic
+        methods = [
+            n
+            for n in ast.walk(result.codelet)
+            if isinstance(n, ast.MethodCall) and n.method == "atomicAdd"
+        ]
+        assert not methods
+
+    def test_spectrum_call_retained(self, program):
+        info = program.find("reduce", "tile")
+        result = apply_global_atomic(info, program, atomic=False)
+        calls = [
+            n
+            for n in ast.walk(result.codelet)
+            if isinstance(n, ast.Call) and n.name == "reduce"
+        ]
+        assert calls
+
+    def test_original_untouched(self, program):
+        info = program.find("reduce", "tile")
+        apply_global_atomic(info, program, atomic=False)
+        methods = [
+            n
+            for n in ast.walk(info.codelet)
+            if isinstance(n, ast.MethodCall) and n.method == "atomicAdd"
+        ]
+        assert methods  # still present in the source AST

@@ -1,0 +1,172 @@
+"""Tests for the pre-processing pipeline (Figure 5) and the version
+catalog/enumeration (Figure 6, Section IV-B)."""
+
+import pytest
+
+from repro.core import (
+    BEST8,
+    FIG6,
+    Version,
+    enumerate_versions,
+    fig6_label,
+    original_tangram_versions,
+    preprocess,
+    prune_versions,
+    search_space_summary,
+)
+from repro.core.sources import load_reduction_program
+from repro.lang import ast
+from repro.lang.errors import SynthesisError
+
+
+@pytest.fixture(scope="module")
+def pre():
+    return preprocess(load_reduction_program("add", "float"))
+
+
+class TestPipeline:
+    def test_all_coop_variants_generated(self, pre):
+        # the paper's five (Figure 6 legend) plus the VA1A extension
+        assert sorted(pre.coop) == ["V", "VA1", "VA1A", "VA2", "VA2S", "VS"]
+
+    def test_both_compound_patterns(self, pre):
+        assert sorted(pre.compound) == ["stride", "tile"]
+
+    def test_vs_uses_shuffle_not_atomics(self, pre):
+        vs = pre.coop_variant("VS")
+        assert vs.uses_shuffle and not vs.uses_shared_atomic
+        assert vs.disabled_arrays == ["tmp"]
+
+    def test_va1_uses_atomics_not_shuffle(self, pre):
+        va1 = pre.coop_variant("VA1")
+        assert va1.uses_shared_atomic and not va1.uses_shuffle
+        assert va1.shared_atomic_op == "add"
+
+    def test_va2s_uses_both(self, pre):
+        va2s = pre.coop_variant("VA2S")
+        assert va2s.uses_shuffle and va2s.uses_shared_atomic
+        shuffles = [
+            n for n in ast.walk(va2s.codelet) if isinstance(n, ast.WarpShuffle)
+        ]
+        atomics = [
+            n for n in ast.walk(va2s.codelet) if isinstance(n, ast.AtomicUpdate)
+        ]
+        assert len(shuffles) == 1 and len(atomics) == 1
+
+    def test_log_records_every_pass(self, pre):
+        log = "\n".join(pre.log)
+        assert "shuffle pass" in log
+        assert "shared-atomic pass" in log
+        assert "global-atomic pass" in log
+
+    def test_unknown_coop_key_raises(self, pre):
+        with pytest.raises(KeyError):
+            pre.coop_variant("VX")
+
+    def test_reduction_op_inferred(self, pre):
+        assert pre.reduction_op == "add"
+
+    def test_max_pipeline(self):
+        pre_max = preprocess(load_reduction_program("max", "float"))
+        assert pre_max.reduction_op == "max"
+        assert sorted(pre_max.coop) == ["V", "VA1", "VA1A", "VA2", "VA2S", "VS"]
+
+
+class TestEnumeration:
+    def test_total_space_is_60(self):
+        assert len(enumerate_versions()) == 60
+
+    def test_pruned_space_is_30_matching_paper(self):
+        """The paper prunes to exactly 30 versions, all with global
+        atomics for the per-block combine (Section IV-B)."""
+        pruned = prune_versions(enumerate_versions())
+        assert len(pruned) == 30
+        assert all(v.uses_global_atomic for v in pruned)
+        assert all(v.num_kernels == 1 for v in pruned)
+
+    def test_versions_unique(self):
+        versions = enumerate_versions()
+        assert len(set(versions)) == len(versions)
+
+    def test_original_versions_use_no_new_features(self):
+        for version in original_tangram_versions():
+            assert not version.uses_shared_atomic
+            assert not version.uses_shuffle
+            assert not version.uses_global_atomic
+            assert version.num_kernels == 2
+
+    def test_summary_counts_consistent(self):
+        summary = search_space_summary()
+        assert summary["total"] == 60
+        assert summary["pruned_total"] == 30
+        assert summary["pruned_all_use_global_atomics"]
+        assert summary["with_shared_atomics"] + summary[
+            "with_global_atomics_only"
+        ] <= summary["total"]
+
+
+class TestFig6Catalog:
+    def test_sixteen_entries(self):
+        assert len(FIG6) == 16
+        assert set(FIG6) == set("abcdefghijklmnop")
+
+    def test_all_entries_survive_pruning(self):
+        pruned = set(prune_versions(enumerate_versions()))
+        assert all(v in pruned for v in FIG6.values())
+
+    def test_best8(self):
+        assert BEST8 == frozenset("abcekmnp")
+
+    def test_label_roundtrip(self):
+        for label, version in FIG6.items():
+            assert fig6_label(version) == label
+
+    def test_coop_entries(self):
+        assert FIG6["l"].combine == "V" and FIG6["l"].block_kind == "coop"
+        assert FIG6["m"].combine == "VS"
+        assert FIG6["n"].combine == "VA1"
+        assert FIG6["o"].combine == "VA2"
+        assert FIG6["p"].combine == "VA2S"
+
+    def test_k_uses_strided_grid(self):
+        assert FIG6["k"].grid_pattern == "stride"
+
+    def test_identifier_format(self):
+        assert FIG6["p"].identifier == "DT,A / VA2S"
+        assert FIG6["b"].identifier == "DT,A / DS+S / VS"
+
+
+class TestVersionValidation:
+    def test_bad_grid_pattern(self):
+        with pytest.raises(SynthesisError):
+            Version(
+                grid_pattern="diagonal",
+                final_combine="global_atomic",
+                block_kind="coop",
+                combine="V",
+            )
+
+    def test_compound_requires_block_pattern(self):
+        with pytest.raises(SynthesisError):
+            Version(
+                grid_pattern="tile",
+                final_combine="global_atomic",
+                block_kind="compound",
+                combine="V",
+            )
+
+    def test_coop_takes_no_block_pattern(self):
+        with pytest.raises(SynthesisError):
+            Version(
+                grid_pattern="tile",
+                final_combine="global_atomic",
+                block_kind="coop",
+                combine="V",
+                block_pattern="tile",
+            )
+
+    def test_feature_flags(self):
+        assert FIG6["p"].uses_shuffle and FIG6["p"].uses_shared_atomic
+        assert FIG6["m"].uses_shuffle and not FIG6["m"].uses_shared_atomic
+        assert FIG6["n"].uses_shared_atomic and not FIG6["n"].uses_shuffle
+        assert not FIG6["l"].uses_shuffle and not FIG6["l"].uses_shared_atomic

@@ -1,0 +1,130 @@
+"""Tests for the shared-memory atomic-qualifier pass (Section III-B)."""
+
+import pytest
+
+from repro.core import apply_shared_atomics
+from repro.core.atomics_shared import collect_atomic_shared
+from repro.core.sources import load_reduction_program
+from repro.lang import analyze_source, ast
+from repro.lang.errors import TransformError
+
+
+def coop_codelet(body):
+    text = (
+        "__codelet __coop\n"
+        "int f(const Array<1,int> in) {\n"
+        "  Vector vt();\n"
+        f"{body}\n"
+        "}\n"
+    )
+    return analyze_source(text).codelets[0].codelet
+
+
+def atomic_updates(codelet):
+    return [n for n in ast.walk(codelet) if isinstance(n, ast.AtomicUpdate)]
+
+
+class TestCollect:
+    def test_qualified_decls_found(self):
+        codelet = coop_codelet(
+            "  __shared _atomicAdd int a;\n"
+            "  __shared _atomicMax int b[32];\n"
+            "  __shared int plain[32];\n"
+            "  return 0;"
+        )
+        assert collect_atomic_shared(codelet) == {"a": "add", "b": "max"}
+
+
+class TestRewrite:
+    def test_plain_write_becomes_qualifier_op(self):
+        """Figure 3(b) line 16 -> Listing 3 line 27: `partial = val`
+        becomes atomicAdd(&partial, val)."""
+        codelet = coop_codelet(
+            "  __shared _atomicAdd int t;\n  int val = 1;\n  t = val;\n  return t;"
+        )
+        result = apply_shared_atomics(codelet)
+        assert result.rewrites == 1
+        updates = atomic_updates(result.codelet)
+        assert len(updates) == 1
+        assert updates[0].op == "add"
+        assert updates[0].space == "shared"
+
+    def test_array_element_write_rewritten(self):
+        """Histogram-style: hist[bin] += 1 with _atomicAdd (Section III-B)."""
+        codelet = coop_codelet(
+            "  __shared _atomicAdd int hist[64];\n"
+            "  hist[vt.ThreadId() % 64] += 1;\n"
+            "  return 0;"
+        )
+        result = apply_shared_atomics(codelet)
+        assert result.rewrites == 1
+        update = atomic_updates(result.codelet)[0]
+        assert isinstance(update.target, ast.Index)
+
+    def test_compound_assign_must_match_qualifier(self):
+        codelet = coop_codelet(
+            "  __shared _atomicMax int t;\n  t += 1;\n  return t;"
+        )
+        with pytest.raises(TransformError):
+            apply_shared_atomics(codelet)
+
+    def test_sub_qualifier_with_minus_assign(self):
+        codelet = coop_codelet(
+            "  __shared _atomicSub int t;\n  t -= 2;\n  return t;"
+        )
+        result = apply_shared_atomics(codelet)
+        assert atomic_updates(result.codelet)[0].op == "sub"
+
+    def test_unqualified_writes_untouched(self):
+        codelet = coop_codelet(
+            "  __shared int plain[32];\n"
+            "  plain[vt.ThreadId() % 32] = 1;\n"
+            "  return 0;"
+        )
+        result = apply_shared_atomics(codelet)
+        assert result.rewrites == 0
+        assert not atomic_updates(result.codelet)
+
+    def test_never_written_atomic_var_rejected(self):
+        codelet = coop_codelet(
+            "  __shared _atomicAdd int t;\n  return t;"
+        )
+        with pytest.raises(TransformError):
+            apply_shared_atomics(codelet)
+
+    def test_original_untouched(self):
+        codelet = coop_codelet(
+            "  __shared _atomicAdd int t;\n  t = 1;\n  return t;"
+        )
+        apply_shared_atomics(codelet)
+        assert not atomic_updates(codelet)
+
+    def test_reads_stay_plain(self):
+        codelet = coop_codelet(
+            "  __shared _atomicAdd int t;\n  t = 1;\n  int x = t + 1;\n  return x;"
+        )
+        result = apply_shared_atomics(codelet)
+        # exactly one atomic, the read `t + 1` is untouched
+        assert result.rewrites == 1
+
+
+class TestOnPaperCodelets:
+    def test_shared_v1(self):
+        program = load_reduction_program("add", "float")
+        codelet = program.find("reduce", "shared_v1").codelet
+        result = apply_shared_atomics(codelet)
+        assert result.rewrites == 1
+        assert result.atomic_symbols == {"tmp": "add"}
+
+    def test_shared_v2(self):
+        program = load_reduction_program("add", "float")
+        codelet = program.find("reduce", "shared_v2").codelet
+        result = apply_shared_atomics(codelet)
+        assert result.rewrites == 1
+        assert result.atomic_symbols == {"partial": "add"}
+
+    def test_min_variant_uses_min_ops(self):
+        program = load_reduction_program("min", "float")
+        codelet = program.find("reduce", "shared_v1").codelet
+        result = apply_shared_atomics(codelet)
+        assert atomic_updates(result.codelet)[0].op == "min"

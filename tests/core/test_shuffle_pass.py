@@ -1,0 +1,192 @@
+"""Tests for the warp-shuffle detection pass (Section III-C, Figure 4).
+
+Each test checks one of the seven conditions of the detection algorithm
+by perturbing the canonical tree-reduction loop so exactly that
+condition fails.
+"""
+
+import pytest
+
+from repro.core import apply_shuffle, detect_shuffle_loops
+from repro.core.sources import load_reduction_program
+from repro.lang import analyze_source, ast
+
+
+def coop_codelet(body):
+    text = (
+        "__codelet __coop\n"
+        "int f(const Array<1,int> in) {\n"
+        "  Vector vt();\n"
+        f"{body}\n"
+        "}\n"
+    )
+    return analyze_source(text).codelets[0].codelet
+
+
+CANONICAL = """
+  __shared int tmp[in.Size()];
+  int val = 0;
+  val = (vt.ThreadId() < in.Size()) ? in[vt.ThreadId()] : 0;
+  tmp[vt.ThreadId()] = val;
+  for (int offset = vt.MaxSize() / 2; offset > 0; offset /= 2) {
+    val += (vt.LaneId() + offset < vt.Size()) ? tmp[vt.ThreadId() + offset] : 0;
+    tmp[vt.ThreadId()] = val;
+  }
+  return val;
+"""
+
+
+class TestDetection:
+    def test_canonical_loop_detected(self):
+        codelet = coop_codelet(CANONICAL)
+        matches = detect_shuffle_loops(codelet)
+        assert len(matches) == 1
+        match = matches[0]
+        assert match.accumulator == "val"
+        assert match.shared_array == "tmp"
+        assert match.direction == "down"
+        assert match.combine == "add"
+
+    def test_condition1_bound_not_from_vector(self):
+        body = CANONICAL.replace("vt.MaxSize() / 2", "16")
+        assert not detect_shuffle_loops(coop_codelet(body))
+
+    def test_condition2_iterator_must_decrease(self):
+        body = CANONICAL.replace("offset /= 2", "offset *= 2")
+        assert not detect_shuffle_loops(coop_codelet(body))
+
+    def test_condition2_subtractive_step_accepted(self):
+        body = CANONICAL.replace("offset /= 2", "offset -= 1")
+        assert detect_shuffle_loops(coop_codelet(body))
+
+    def test_condition3_read_must_be_shared_array(self):
+        # read from the input container instead of the shared array
+        body = CANONICAL.replace(
+            "tmp[vt.ThreadId() + offset]", "in[vt.ThreadId() + offset]"
+        )
+        assert not detect_shuffle_loops(coop_codelet(body))
+
+    def test_condition4_index_must_use_iterator(self):
+        body = CANONICAL.replace(
+            "tmp[vt.ThreadId() + offset]", "tmp[vt.ThreadId() + 1]"
+        )
+        assert not detect_shuffle_loops(coop_codelet(body))
+
+    def test_condition4_index_must_use_thread_id(self):
+        body = CANONICAL.replace(
+            "tmp[vt.ThreadId() + offset]", "tmp[vt.LaneId() + offset]"
+        )
+        assert not detect_shuffle_loops(coop_codelet(body))
+
+    def test_condition5_writeback_to_different_array(self):
+        body = CANONICAL.replace(
+            "__shared int tmp[in.Size()];",
+            "__shared int tmp[in.Size()];\n  __shared int other[in.Size()];",
+        ).replace(
+            """    tmp[vt.ThreadId()] = val;
+  }""",
+            """    other[vt.ThreadId()] = val;
+  }""",
+        )
+        assert not detect_shuffle_loops(coop_codelet(body))
+
+    def test_condition7_write_index_must_not_use_iterator(self):
+        body = CANONICAL.replace(
+            """    tmp[vt.ThreadId()] = val;
+  }""",
+            """    tmp[vt.ThreadId() + offset] = val;
+  }""",
+        )
+        assert not detect_shuffle_loops(coop_codelet(body))
+
+    def test_up_direction_detected(self):
+        body = CANONICAL.replace(
+            "tmp[vt.ThreadId() + offset]", "tmp[vt.ThreadId() - offset]"
+        )
+        matches = detect_shuffle_loops(coop_codelet(body))
+        assert matches and matches[0].direction == "up"
+
+    def test_max_combine_detected(self):
+        body = CANONICAL.replace(
+            "val += (vt.LaneId() + offset < vt.Size()) ? tmp[vt.ThreadId() + offset] : 0;",
+            "val = max(val, (vt.LaneId() + offset < vt.Size()) ? tmp[vt.ThreadId() + offset] : 0);",
+        )
+        matches = detect_shuffle_loops(coop_codelet(body))
+        assert matches and matches[0].combine == "max"
+
+    def test_extra_statement_in_body_rejected(self):
+        body = CANONICAL.replace(
+            "    tmp[vt.ThreadId()] = val;\n  }",
+            "    tmp[vt.ThreadId()] = val;\n    val += 0;\n  }",
+        )
+        assert not detect_shuffle_loops(coop_codelet(body))
+
+    def test_non_cooperative_codelet_has_no_matches(self):
+        program = load_reduction_program("add", "float")
+        scalar = program.find("reduce", "scalar").codelet
+        assert detect_shuffle_loops(scalar) == []
+
+
+class TestRewrite:
+    def test_loop_body_replaced_with_shuffle(self):
+        codelet = coop_codelet(CANONICAL)
+        result = apply_shuffle(codelet)
+        assert result.rewrites == 1
+        shuffles = [
+            n for n in ast.walk(result.codelet) if isinstance(n, ast.WarpShuffle)
+        ]
+        assert len(shuffles) == 1
+        assert shuffles[0].direction == "down"
+
+    def test_original_codelet_untouched(self):
+        codelet = coop_codelet(CANONICAL)
+        apply_shuffle(codelet)
+        assert not [
+            n for n in ast.walk(codelet) if isinstance(n, ast.WarpShuffle)
+        ]
+
+    def test_dead_array_disabled(self):
+        codelet = coop_codelet(CANONICAL)
+        result = apply_shuffle(codelet)
+        assert result.disabled_arrays == ["tmp"]
+        decls = [
+            n
+            for n in ast.walk(result.codelet)
+            if isinstance(n, ast.VarDecl) and n.shared
+        ]
+        assert not decls
+
+    def test_producer_consumer_array_retained(self):
+        """Figure 1(c): `partial` carries values between warps, so the
+        shuffle pass must keep it (Listing 4 keeps partial)."""
+        program = load_reduction_program("add", "float")
+        coop = program.find("reduce", "coop_tree").codelet
+        result = apply_shuffle(coop)
+        assert result.rewrites == 2
+        assert result.disabled_arrays == ["tmp"]
+        kept = {
+            n.name
+            for n in ast.walk(result.codelet)
+            if isinstance(n, ast.VarDecl) and n.shared
+        }
+        assert kept == {"partial"}
+
+    def test_no_match_returns_unchanged_clone(self):
+        codelet = coop_codelet("  int val = 0;\n  return val;")
+        result = apply_shuffle(codelet)
+        assert result.rewrites == 0
+        assert result.disabled_arrays == []
+
+    def test_max_rewrite_uses_max_combine(self):
+        program = load_reduction_program("max", "float")
+        coop = program.find("reduce", "coop_tree").codelet
+        result = apply_shuffle(coop)
+        assert result.rewrites == 2
+        calls = [
+            n
+            for n in ast.walk(result.codelet)
+            if isinstance(n, ast.Call) and n.name == "max"
+        ]
+        assert any(
+            isinstance(c.args[1], ast.WarpShuffle) for c in calls if len(c.args) == 2
+        )

@@ -1,0 +1,78 @@
+"""Tests for the reduction DSL source library."""
+
+import pytest
+
+from repro.core.sources import (
+    LIBRARY_OPS,
+    identity_literal,
+    identity_value,
+    load_reduction_program,
+    reduction_source,
+)
+
+
+class TestIdentities:
+    def test_add_identity(self):
+        assert identity_value("add") == 0.0
+        assert identity_literal("add", "float") == "0.0f"
+        assert identity_literal("add", "int") == "0"
+
+    def test_max_identity_is_lowest_float(self):
+        assert identity_value("max") < -1e38
+        assert "-3.402823e38f" == identity_literal("max", "float")
+
+    def test_min_identity_is_highest_float(self):
+        assert identity_value("min") > 1e38
+
+    def test_sub_identity(self):
+        assert identity_value("sub") == 0.0
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError):
+            identity_value("xor")
+        with pytest.raises(ValueError):
+            identity_literal("xor", "float")
+
+
+class TestSourceGeneration:
+    def test_library_ops(self):
+        assert set(LIBRARY_OPS) == {"add", "max", "min"}
+
+    def test_sub_only_through_atomic_api(self):
+        with pytest.raises(ValueError, match="atomic API"):
+            reduction_source("sub")
+
+    def test_bad_ctype(self):
+        with pytest.raises(ValueError):
+            reduction_source("add", "double")
+
+    def test_six_codelets_per_program(self):
+        for op in LIBRARY_OPS:
+            program = load_reduction_program(op, "float")
+            tags = {info.codelet.tag for info in program.codelets}
+            assert tags == {
+                "scalar", "tile", "stride", "coop_tree", "shared_v1", "shared_v2"
+            }
+
+    def test_codelet_kinds(self):
+        program = load_reduction_program("add", "float")
+        kinds = {
+            info.codelet.tag: info.kind for info in program.codelets
+        }
+        assert kinds["scalar"] == "atomic_autonomous"
+        assert kinds["tile"] == "compound"
+        assert kinds["stride"] == "compound"
+        assert kinds["coop_tree"] == "cooperative"
+        assert kinds["shared_v1"] == "cooperative"
+        assert kinds["shared_v2"] == "cooperative"
+
+    def test_max_source_uses_max_atomics(self):
+        text = reduction_source("max", "float")
+        assert "atomicMax" in text
+        assert "_atomicMax" in text
+        assert "+=" not in text.split("__tag(coop_tree)")[1].split("__tag")[0]
+
+    def test_int_source_types(self):
+        text = reduction_source("add", "int")
+        assert "Array<1,int>" in text
+        assert "float" not in text

@@ -1,0 +1,68 @@
+"""Tests for event profiles and their sampled-scaling behaviour."""
+
+from collections import Counter
+
+import pytest
+
+from repro.gpusim.events import EVENT_KEYS, PlanProfile, StepProfile
+
+
+def make_step(grid=100, block=128, sampled=0, **events):
+    return StepProfile(
+        kernel_name="k",
+        grid=grid,
+        block=block,
+        shared_bytes=0,
+        registers=8,
+        events=Counter(events),
+        sampled_blocks=sampled,
+    )
+
+
+class TestStepProfile:
+    def test_warps_per_block(self):
+        assert make_step(block=128).warps_per_block == 4
+        assert make_step(block=33).warps_per_block == 2
+        assert make_step(block=32).warps_per_block == 1
+
+    def test_full_run_not_scaled(self):
+        step = make_step(**{"inst.alu": 100})
+        assert step.scaled()["inst.alu"] == 100
+
+    def test_sampled_run_scaled_linearly(self):
+        step = make_step(grid=100, sampled=10, **{"inst.alu": 50})
+        scaled = step.scaled()
+        assert scaled["inst.alu"] == 500
+        assert scaled["blocks"] == 100
+        assert scaled["threads"] == 100 * 128
+        assert scaled["warps"] == 100 * 4
+
+    def test_sampled_equal_to_grid_not_scaled(self):
+        step = make_step(grid=10, sampled=10, **{"inst.alu": 50})
+        assert step.scaled()["inst.alu"] == 50
+
+    def test_event_key_registry_covers_engine_counters(self):
+        # keep the documented key list in sync with what profiles contain
+        for key in ("inst.alu", "mem.global.bytes", "atom.shared.ops",
+                    "branch.divergent", "warps"):
+            assert key in EVENT_KEYS
+
+
+class TestPlanProfile:
+    def test_totals_across_steps(self):
+        plan = PlanProfile(
+            plan_name="p",
+            steps=[
+                make_step(**{"inst.alu": 10}),
+                make_step(**{"inst.alu": 20}),
+            ],
+        )
+        assert plan.total("inst.alu") == 30
+        assert plan.num_launches() == 2
+
+    def test_totals_respect_scaling(self):
+        plan = PlanProfile(
+            plan_name="p",
+            steps=[make_step(grid=100, sampled=10, **{"inst.alu": 10})],
+        )
+        assert plan.total("inst.alu") == pytest.approx(100)

@@ -1,0 +1,114 @@
+"""Integration tests: DSL source → passes → synthesis → simulation.
+
+These exercise the whole stack the way the paper's evaluation does.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ReductionFramework, Tunables
+from repro.core import FIG6, enumerate_versions, prune_versions
+
+
+class TestAllPrunedVersions:
+    """Every one of the 30 pruned versions must be correct end-to-end."""
+
+    @pytest.mark.parametrize(
+        "version", prune_versions(enumerate_versions()), ids=lambda v: v.identifier
+    )
+    def test_version_correct(self, fw_add, rng, version):
+        n = 2531  # odd size exercising tail handling
+        data = rng.random(n).astype(np.float32)
+        result = fw_add.run(data, version)
+        assert result.value == pytest.approx(
+            float(data.sum(dtype=np.float64)), rel=1e-4
+        )
+
+
+class TestSecondKernelVersions:
+    """The pruned-away versions must still work (ablation support)."""
+
+    @pytest.mark.parametrize(
+        "version",
+        [v for v in enumerate_versions() if v.num_kernels == 2][:6],
+        ids=lambda v: v.identifier,
+    )
+    def test_two_kernel_version_correct(self, fw_add, rng, version):
+        data = rng.random(3001).astype(np.float32)
+        result = fw_add.run(data, version)
+        assert result.value == pytest.approx(
+            float(data.sum(dtype=np.float64)), rel=1e-4
+        )
+
+
+class TestCrossOpAgreement:
+    def test_add_max_min_on_same_data(self, fw_add, fw_max, fw_min, rng):
+        data = ((rng.random(4096) - 0.5) * 50).astype(np.float32)
+        assert fw_add.run(data, "p").value == pytest.approx(
+            float(data.sum(dtype=np.float64)), rel=1e-4
+        )
+        assert fw_max.run(data, "p").value == float(data.max())
+        assert fw_min.run(data, "p").value == float(data.min())
+
+
+class TestProfileMeaningfulness:
+    def test_shuffle_version_has_shfl_events(self, fw_add, rng):
+        data = rng.random(2048).astype(np.float32)
+        result = fw_add.run(data, "m")
+        events = result.profile.steps[0].events
+        assert events["inst.shfl"] > 0
+        assert events.get("inst.ld.shared", 0) + events.get("inst.st.shared", 0) > 0
+
+    def test_va1_has_shared_atomic_events(self, fw_add, rng):
+        data = rng.random(2048).astype(np.float32)
+        result = fw_add.run(data, "n")
+        events = result.profile.steps[0].events
+        assert events["atom.shared.ops"] == 2048  # one per element-thread
+
+    def test_tree_version_has_no_shuffles(self, fw_add, rng):
+        data = rng.random(2048).astype(np.float32)
+        result = fw_add.run(data, "l")
+        assert result.profile.steps[0].events.get("inst.shfl", 0) == 0
+
+    def test_every_version_one_global_atomic_per_block(self, fw_add, rng):
+        data = rng.random(4096).astype(np.float32)
+        for label in ("l", "m", "n", "o", "p"):
+            result = fw_add.run(data, label, Tunables(block=256))
+            events = result.profile.steps[0].events
+            blocks = events["blocks"]
+            assert events["atom.global.ops"] == blocks
+            assert events["atom.global.max_same_addr"] == blocks
+
+    def test_compound_version_fewer_blocks(self, fw_add, rng):
+        """Thread coarsening shrinks the grid (and the atomic traffic)."""
+        data = rng.random(65536).astype(np.float32)
+        coop = fw_add.run(data, "l", Tunables(block=256))
+        compound = fw_add.run(data, "a", Tunables(block=256, grid=64))
+        coop_blocks = coop.profile.steps[0].events["blocks"]
+        compound_blocks = compound.profile.steps[0].events["blocks"]
+        assert compound_blocks < coop_blocks
+
+
+class TestNumericalEdgeCases:
+    def test_single_element(self, fw_add):
+        data = np.array([7.25], dtype=np.float32)
+        for label in FIG6:
+            assert fw_add.run(data, label).value == 7.25, label
+
+    def test_all_zeros(self, fw_add):
+        data = np.zeros(1000, dtype=np.float32)
+        assert fw_add.run(data, "p").value == 0.0
+
+    def test_negative_only_sum(self, fw_add):
+        data = -np.ones(333, dtype=np.float32)
+        assert fw_add.run(data, "e").value == pytest.approx(-333.0)
+
+    def test_max_of_negatives(self, fw_max):
+        data = np.array([-5.0, -2.0, -9.0] * 100, dtype=np.float32)
+        for label in ("l", "n", "p", "a"):
+            assert fw_max.run(data, label).value == -2.0, label
+
+    def test_large_magnitudes(self, fw_add):
+        data = np.full(128, 1e30, dtype=np.float32)
+        result = fw_add.run(data, "p")
+        assert result.value == pytest.approx(128e30, rel=1e-4)

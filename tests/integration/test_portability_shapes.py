@@ -1,0 +1,115 @@
+"""Integration tests asserting the paper's performance-portability shapes.
+
+These are the cheap, always-run versions of the checks the benchmark
+harness performs in full (Figures 7-10); they use a few sizes only.
+"""
+
+import pytest
+
+from repro import (
+    ReductionFramework,
+    Tunables,
+    cub_time,
+    kokkos_time,
+    openmp_time,
+)
+
+
+@pytest.fixture(scope="module")
+def fw():
+    return ReductionFramework("add")
+
+
+def tuned_time(fw, label, n, arch, blocks=(64, 128, 256)):
+    return min(fw.time(n, label, arch, Tunables(block=b)) for b in blocks)
+
+
+class TestArchitectureWinners:
+    """Section IV-C's per-architecture best versions."""
+
+    def test_kepler_small_prefers_shared_atomic_shuffle(self, fw):
+        times = {k: tuned_time(fw, k, 256, "kepler") for k in "lmnop"}
+        assert min(times, key=times.get) == "p"
+
+    def test_kepler_medium_prefers_pure_shuffle(self, fw):
+        """Kepler's software shared atomics make (m) beat (p) once many
+        warps contend (Section IV-C-2)."""
+        times = {k: tuned_time(fw, k, 262_144, "kepler") for k in "lmnop"}
+        assert min(times, key=times.get) == "m"
+
+    def test_kepler_shared_atomics_catastrophic_under_contention(self, fw):
+        """Version (n) hammers one accumulator; Kepler's lock loop makes
+        it an order of magnitude slower than (m) at medium sizes."""
+        t_n = tuned_time(fw, "n", 1_048_576, "kepler")
+        t_m = tuned_time(fw, "m", 1_048_576, "kepler")
+        assert t_n > 5 * t_m
+
+    def test_maxwell_small_prefers_va1(self, fw):
+        """Native shared atomics flip the small-size winner to (n)."""
+        times = {k: tuned_time(fw, k, 256, "maxwell") for k in "lmnop"}
+        assert min(times, key=times.get) == "n"
+
+    def test_maxwell_medium_prefers_va2s(self, fw):
+        times = {k: tuned_time(fw, k, 1_048_576, "maxwell") for k in "lmnop"}
+        assert min(times, key=times.get) == "p"
+
+    def test_pascal_small_prefers_va1(self, fw):
+        times = {k: tuned_time(fw, k, 1024, "pascal") for k in "lmnop"}
+        assert min(times, key=times.get) == "n"
+
+    def test_same_code_different_winner_across_archs(self, fw):
+        """The heart of the paper: identical source, different best
+        version per microarchitecture."""
+        kepler = min("lmnop", key=lambda k: tuned_time(fw, k, 262_144, "kepler"))
+        maxwell = min("lmnop", key=lambda k: tuned_time(fw, k, 262_144, "maxwell"))
+        assert kepler != maxwell
+
+
+class TestBaselineRelations:
+    def test_tangram_beats_cub_small_and_medium(self, fw):
+        for arch in ("kepler", "maxwell", "pascal"):
+            for n in (256, 4096, 65_536):
+                label, t = fw.best_version(n, arch)
+                assert cub_time(n, arch) / t > 1.8, (arch, n)
+
+    def test_cub_wins_large(self, fw):
+        for arch in ("kepler", "maxwell", "pascal"):
+            n = 67_108_864
+            best = min(
+                fw.time(n, label, arch) for label in ("a", "b", "c", "e", "k")
+            )
+            ratio = cub_time(n, arch) / best
+            # paper: Tangram 7-38% slower at large sizes
+            assert 0.6 < ratio < 1.0, (arch, ratio)
+
+    def test_kokkos_wins_beyond_ten_million(self, fw):
+        for arch in ("kepler", "maxwell", "pascal"):
+            n = 16_777_216
+            assert cub_time(n, arch) / kokkos_time(n, arch) > 2.0, arch
+
+    def test_kokkos_loses_small(self):
+        for arch in ("kepler", "maxwell", "pascal"):
+            assert kokkos_time(256, arch) > cub_time(256, arch) / 3
+
+    def test_openmp_about_4x_faster_than_cub_small(self):
+        for arch in ("kepler", "maxwell", "pascal"):
+            for n in (256, 16_384):
+                ratio = cub_time(n, arch) / openmp_time(n)
+                assert 2.5 < ratio < 7.0, (arch, n, ratio)
+
+    def test_openmp_loses_at_gpu_scale(self):
+        n = 268_435_456
+        for arch in ("kepler", "maxwell", "pascal"):
+            assert openmp_time(n) > cub_time(n, arch)
+
+    def test_openmp_beats_kepler_tangram_below_4k(self, fw):
+        t_omp = openmp_time(1024)
+        t_tgm = tuned_time(fw, "p", 1024, "kepler")
+        assert t_omp < t_tgm
+
+    def test_pascal_tangram_competitive_with_openmp_small(self, fw):
+        """Pascal's higher clock makes the GPU competitive for small
+        arrays (Section IV-C-1)."""
+        t_omp = openmp_time(1024)
+        t_tgm = tuned_time(fw, "n", 1024, "pascal")
+        assert t_tgm < t_omp * 1.1

@@ -1,0 +1,116 @@
+"""Unit tests for AST utilities: traversal, transformation, cloning."""
+
+from repro.lang import ast, parse_expression, parse_program
+from repro.lang.source import Span, SourceFile
+
+TEXT = """
+__codelet
+int f(const Array<1,int> in) {
+  int acc = 0;
+  for (unsigned i = 0; i < in.Size(); i += 1) {
+    acc += in[i];
+  }
+  return acc;
+}
+"""
+
+
+def test_walk_visits_all_nodes():
+    program = parse_program(TEXT)
+    nodes = list(ast.walk(program))
+    assert any(isinstance(n, ast.For) for n in nodes)
+    assert any(isinstance(n, ast.MethodCall) for n in nodes)
+    assert any(isinstance(n, ast.Index) for n in nodes)
+
+
+def test_find_all():
+    program = parse_program(TEXT)
+    assigns = ast.find_all(program, ast.Assign)
+    # i += 1 and acc += in[i]
+    assert len(assigns) == 2
+
+
+def test_clone_is_deep():
+    program = parse_program(TEXT)
+    clone = program.clone()
+    original_loop = ast.find_all(program, ast.For)[0]
+    cloned_loop = ast.find_all(clone, ast.For)[0]
+    assert original_loop is not cloned_loop
+    cloned_loop.body.stmts.clear()
+    assert len(original_loop.body.stmts) == 1
+
+
+def test_expr_structural_equality_ignores_span():
+    a = parse_expression("x + 1")
+    b = parse_expression("x  +  1")
+    assert a == b
+
+
+def test_expr_inequality():
+    assert parse_expression("x + 1") != parse_expression("x + 2")
+
+
+def test_dump_is_readable():
+    text = ast.dump(parse_expression("a ? b : c"))
+    assert "Ternary" in text
+    assert "Ident(name='a')" in text
+
+
+class _Renamer(ast.NodeTransformer):
+    def visit_Ident(self, node):
+        if node.name == "acc":
+            return ast.Ident(name="total", span=node.span)
+        return node
+
+
+def test_transformer_replaces_nodes():
+    program = parse_program(TEXT)
+    _Renamer().visit(program)
+    names = {n.name for n in ast.walk(program) if isinstance(n, ast.Ident)}
+    assert "total" in names
+    assert "acc" not in names
+
+
+class _StmtDeleter(ast.NodeTransformer):
+    def visit_For(self, node):
+        return None
+
+
+def test_transformer_deletes_statements():
+    program = parse_program(TEXT)
+    _StmtDeleter().visit(program)
+    assert not ast.find_all(program, ast.For)
+
+
+class _StmtSplicer(ast.NodeTransformer):
+    def visit_Return(self, node):
+        extra = ast.ExprStmt(expr=ast.IntLiteral(value=0))
+        return [extra, node]
+
+
+def test_transformer_splices_lists():
+    program = parse_program(TEXT)
+    _StmtSplicer().visit(program)
+    body = program.codelets[0].body.stmts
+    assert isinstance(body[-1], ast.Return)
+    assert isinstance(body[-2], ast.ExprStmt)
+
+
+def test_span_merge_and_snippet():
+    source = SourceFile("hello world", "t.tgm")
+    a = Span(0, 5, source)
+    b = Span(6, 11, source)
+    merged = a.merge(b)
+    assert merged.text == "hello world"
+    assert "^^^^^" in a.caret_snippet()
+
+
+def test_program_spectrums_groups_in_order():
+    program = parse_program(
+        "__codelet int a(const Array<1,int> in) { return 0; }\n"
+        "__codelet int b(const Array<1,int> in) { return 0; }\n"
+        "__codelet int a(const Array<1,int> in) { return 1; }"
+    )
+    groups = program.spectrums()
+    assert list(groups) == ["a", "b"]
+    assert len(groups["a"]) == 2

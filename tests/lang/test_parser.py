@@ -1,0 +1,210 @@
+"""Unit tests for the DSL parser."""
+
+import pytest
+
+from repro.lang import ParseError, ast, parse_expression, parse_program
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expression("a + b * c")
+        assert isinstance(expr, ast.Binary) and expr.op == "+"
+        assert isinstance(expr.rhs, ast.Binary) and expr.rhs.op == "*"
+
+    def test_parentheses_override(self):
+        expr = parse_expression("(a + b) * c")
+        assert expr.op == "*"
+        assert isinstance(expr.lhs, ast.Binary) and expr.lhs.op == "+"
+
+    def test_comparison_below_shift(self):
+        expr = parse_expression("a << 2 < b")
+        assert expr.op == "<"
+        assert expr.lhs.op == "<<"
+
+    def test_logical_lowest(self):
+        expr = parse_expression("a < b && c > d || e == f")
+        assert expr.op == "||"
+        assert expr.lhs.op == "&&"
+
+    def test_ternary_right_associative(self):
+        expr = parse_expression("a ? b : c ? d : e")
+        assert isinstance(expr, ast.Ternary)
+        assert isinstance(expr.otherwise, ast.Ternary)
+
+    def test_unary_minus_binds_tighter_than_mul(self):
+        expr = parse_expression("-a * b")
+        assert expr.op == "*"
+        assert isinstance(expr.lhs, ast.Unary)
+
+    def test_method_call_chain(self):
+        expr = parse_expression("vthread.ThreadId()")
+        assert isinstance(expr, ast.MethodCall)
+        assert expr.method == "ThreadId"
+        assert expr.obj.name == "vthread"
+
+    def test_index_of_method_result(self):
+        expr = parse_expression("tmp[vthread.ThreadId() + offset]")
+        assert isinstance(expr, ast.Index)
+        assert isinstance(expr.index, ast.Binary)
+
+    def test_call_with_args(self):
+        expr = parse_expression("min((i + 1) * tile, len)")
+        assert isinstance(expr, ast.Call)
+        assert expr.name == "min"
+        assert len(expr.args) == 2
+
+    def test_unsigned_literal(self):
+        expr = parse_expression("5u")
+        assert isinstance(expr, ast.IntLiteral) and expr.unsigned
+
+    def test_float_literal_single(self):
+        expr = parse_expression("2.5f")
+        assert isinstance(expr, ast.FloatLiteral) and expr.single
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("a + b )")
+
+    def test_missing_operand_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("a + ")
+
+
+def _single_codelet(body: str, header="int f(const Array<1,int> in)"):
+    text = f"__codelet\n{header} {{\n{body}\n}}"
+    program = parse_program(text)
+    assert len(program.codelets) == 1
+    return program.codelets[0]
+
+
+class TestCodelets:
+    def test_minimal_codelet(self):
+        codelet = _single_codelet("return 0;")
+        assert codelet.name == "f"
+        assert str(codelet.return_type) == "int"
+        assert len(codelet.params) == 1
+        assert str(codelet.params[0].declared_type) == "const Array<1,int>"
+
+    def test_coop_and_tag_qualifiers(self):
+        program = parse_program(
+            "__codelet __coop __tag(shared_V1)\n"
+            "int f(const Array<1,int> in) { return 0; }"
+        )
+        codelet = program.codelets[0]
+        assert codelet.coop
+        assert codelet.tag == "shared_V1"
+        assert codelet.display_name() == "f@shared_V1"
+
+    def test_multiple_codelets_same_spectrum(self):
+        program = parse_program(
+            "__codelet int f(const Array<1,int> in) { return 0; }\n"
+            "__codelet int f(const Array<1,int> in) { return 1; }"
+        )
+        assert list(program.spectrums()) == ["f"]
+        assert len(program.spectrums()["f"]) == 2
+
+    def test_missing_codelet_keyword_fails(self):
+        with pytest.raises(ParseError):
+            parse_program("int f(const Array<1,int> in) { return 0; }")
+
+
+class TestStatements:
+    def test_for_loop_shape(self):
+        codelet = _single_codelet(
+            "int acc = 0;\n"
+            "for (unsigned i = 0; i < in.Size(); i += 1) { acc += in[i]; }\n"
+            "return acc;"
+        )
+        loop = codelet.body.stmts[1]
+        assert isinstance(loop, ast.For)
+        assert isinstance(loop.init, ast.VarDecl)
+        assert isinstance(loop.step, ast.Assign) and loop.step.op == "+="
+
+    def test_for_with_increment_operator(self):
+        codelet = _single_codelet(
+            "int acc = 0;\n"
+            "for (unsigned i = 0; i < 4; i++) { acc += 1; }\n"
+            "return acc;"
+        )
+        loop = codelet.body.stmts[1]
+        assert loop.step.op == "+="
+        assert loop.step.value.value == 1
+
+    def test_if_else(self):
+        codelet = _single_codelet(
+            "int x = 0;\nif (x > 0) { x = 1; } else { x = 2; }\nreturn x;"
+        )
+        branch = codelet.body.stmts[1]
+        assert isinstance(branch, ast.If)
+        assert branch.otherwise is not None
+
+    def test_if_without_braces(self):
+        codelet = _single_codelet("int x = 0;\nif (x > 0)\n  x = 1;\nreturn x;")
+        branch = codelet.body.stmts[1]
+        assert isinstance(branch.then, ast.Block)
+        assert len(branch.then.stmts) == 1
+
+    def test_while_loop(self):
+        codelet = _single_codelet("int x = 8;\nwhile (x > 0) { x /= 2; }\nreturn x;")
+        assert isinstance(codelet.body.stmts[1], ast.While)
+
+    def test_assignment_targets(self):
+        with pytest.raises(ParseError):
+            _single_codelet("1 = 2;\nreturn 0;")
+
+    def test_compound_assignment(self):
+        codelet = _single_codelet("int x = 0;\nx <<= 2;\nreturn x;")
+        assert codelet.body.stmts[1].op == "<<="
+
+
+class TestDeclarations:
+    def test_shared_array_decl(self):
+        codelet = _single_codelet(
+            "__shared int tmp[in.Size()];\nreturn 0;"
+        )
+        decl = codelet.body.stmts[0]
+        assert decl.shared and decl.is_array
+
+    def test_shared_atomic_scalar(self):
+        codelet = _single_codelet("__shared _atomicAdd int t;\nreturn 0;")
+        decl = codelet.body.stmts[0]
+        assert decl.shared and decl.atomic == "add" and not decl.is_array
+
+    def test_double_atomic_qualifier_rejected(self):
+        with pytest.raises(ParseError):
+            _single_codelet("__shared _atomicAdd _atomicMax int t;\nreturn 0;")
+
+    def test_tunable(self):
+        codelet = _single_codelet("__tunable unsigned p;\nreturn 0;")
+        assert codelet.body.stmts[0].tunable
+
+    def test_vector_decl(self):
+        codelet = _single_codelet("Vector vt();\nreturn 0;")
+        decl = codelet.body.stmts[0]
+        assert str(decl.declared_type) == "Vector"
+        assert decl.ctor_args == []
+
+    def test_sequence_decl(self):
+        codelet = _single_codelet("Sequence start(i * 4);\nreturn 0;")
+        decl = codelet.body.stmts[0]
+        assert str(decl.declared_type) == "Sequence"
+        assert len(decl.ctor_args) == 1
+
+    def test_map_decl(self):
+        codelet = _single_codelet(
+            "__tunable unsigned p;\n"
+            "Sequence start(i);\nSequence inc(p);\nSequence end(in.Size());\n"
+            "Map m(f, partition(in, p, start, inc, end));\n"
+            "return 0;"
+        )
+        decl = codelet.body.stmts[4]
+        assert decl.name == "m"
+        assert len(decl.ctor_args) == 2
+
+    def test_map_decl_wrong_arity(self):
+        with pytest.raises(ParseError):
+            _single_codelet("Map m(f);\nreturn 0;")
+
+    def test_unsigned_int_spelled_out(self):
+        codelet = _single_codelet("unsigned int x = 0;\nreturn 0;")
+        assert str(codelet.body.stmts[0].declared_type) == "unsigned"

@@ -1,0 +1,226 @@
+"""Unit tests for semantic analysis: typing, scoping, classification."""
+
+import pytest
+
+from repro.lang import (
+    SemanticError,
+    TypeMismatchError,
+    UnknownSymbolError,
+    analyze_source,
+)
+
+SCALAR = """
+__codelet __tag(scalar)
+int f(const Array<1,int> in) {
+  unsigned len = in.Size();
+  int acc = 0;
+  for (unsigned i = 0; i < len; i += 1) { acc += in[i]; }
+  return acc;
+}
+"""
+
+
+def analyze_one(body, header="int f(const Array<1,int> in)", prefix=""):
+    text = f"{prefix}__codelet\n{header} {{\n{body}\n}}"
+    return analyze_source(text).codelets[-1]
+
+
+class TestClassification:
+    def test_scalar_is_atomic_autonomous(self):
+        info = analyze_source(SCALAR).codelets[0]
+        assert info.kind == "atomic_autonomous"
+
+    def test_vector_makes_cooperative(self):
+        info = analyze_one("Vector vt();\nreturn 0;")
+        assert info.kind == "cooperative"
+        assert info.vector is not None
+
+    def test_map_makes_compound(self):
+        info = analyze_one(
+            "__tunable unsigned p;\n"
+            "Sequence start(i);\nSequence inc(p);\nSequence end(in.Size());\n"
+            "Map m(f, partition(in, p, start, inc, end));\n"
+            "return f(m);"
+        )
+        assert info.kind == "compound"
+        assert len(info.maps) == 1
+        assert info.maps[0].spectrum == "f"
+
+    def test_coop_without_vector_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze_source(
+                "__codelet __coop int f(const Array<1,int> in) { return 0; }"
+            )
+
+    def test_vector_plus_map_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze_one(
+                "Vector vt();\n"
+                "__tunable unsigned p;\n"
+                "Sequence start(i);\nSequence inc(p);\nSequence end(in.Size());\n"
+                "Map m(f, partition(in, p, start, inc, end));\n"
+                "return f(m);"
+            )
+
+
+class TestTyping:
+    def test_container_indexing_yields_element(self):
+        info = analyze_one("int x = in[0];\nreturn x;")
+        assert info.kind == "atomic_autonomous"
+
+    def test_float_to_int_narrowing_allowed_c_style(self):
+        analyze_one("int x = 1.5f;\nreturn x;")
+
+    def test_modulo_requires_integers(self):
+        with pytest.raises(TypeMismatchError):
+            analyze_one("float x = 1.0f;\nfloat y = x % 2.0f;\nreturn 0;")
+
+    def test_undeclared_identifier(self):
+        with pytest.raises(UnknownSymbolError):
+            analyze_one("return missing;")
+
+    def test_shadowing_in_inner_scope_allowed(self):
+        analyze_one("int x = 1;\nif (x > 0) { int y = 2; x = y; }\nreturn x;")
+
+    def test_inner_scope_not_visible_outside(self):
+        with pytest.raises(UnknownSymbolError):
+            analyze_one("if (1 > 0) { int y = 2; }\nreturn y;")
+
+    def test_redeclaration_in_same_scope_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze_one("int x = 1;\nint x = 2;\nreturn x;")
+
+    def test_assign_to_parameter_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze_one("in = in;\nreturn 0;", header="int f(const Array<1,int> in)")
+
+    def test_const_container_write_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze_one("in[0] = 5;\nreturn 0;")
+
+    def test_ternary_merges_types(self):
+        analyze_one("int x = (1 > 0) ? 1 : 2;\nreturn x;")
+
+    def test_return_type_checked(self):
+        # returning a Vector-typed thing is impossible; but returning
+        # nothing from an int codelet is an error
+        with pytest.raises(SemanticError):
+            analyze_one("int x = 1;")  # no return at all
+
+    def test_min_max_builtin(self):
+        analyze_one("int x = min(1, 2);\nint y = max(x, 3);\nreturn y;")
+
+    def test_min_wrong_arity(self):
+        with pytest.raises(SemanticError):
+            analyze_one("int x = min(1);\nreturn x;")
+
+
+class TestQualifierRules:
+    def test_atomic_requires_shared(self):
+        with pytest.raises(SemanticError):
+            analyze_one("_atomicAdd int t;\nreturn 0;")
+
+    def test_tunable_must_be_integral(self):
+        with pytest.raises(SemanticError):
+            analyze_one("__tunable float p;\nreturn 0;")
+
+    def test_tunable_no_initializer(self):
+        with pytest.raises(SemanticError):
+            analyze_one("__tunable unsigned p = 4;\nreturn 0;")
+
+    def test_tunable_not_assignable(self):
+        with pytest.raises(SemanticError):
+            analyze_one("__tunable unsigned p;\np = 3;\nreturn 0;")
+
+    def test_shared_atomic_array_allowed(self):
+        info = analyze_one("__shared _atomicAdd int hist[64];\nreturn 0;")
+        assert info.shared[0].atomic == "add"
+        assert info.shared[0].is_array
+
+
+class TestVectorMethods:
+    def test_known_methods(self):
+        analyze_one(
+            "Vector vt();\n"
+            "int a = vt.ThreadId() + vt.LaneId() + vt.VectorId();\n"
+            "int b = vt.Size() + vt.MaxSize();\n"
+            "return a + b;"
+        )
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze_one("Vector vt();\nreturn vt.WarpId();")
+
+    def test_two_vectors_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze_one("Vector a();\nVector b();\nreturn 0;")
+
+
+class TestMapAndPartition:
+    PREFIX = (
+        "__tunable unsigned p;\n"
+        "Sequence start(i);\nSequence inc(p);\nSequence end(in.Size());\n"
+    )
+
+    def test_map_atomic_api_recorded(self):
+        info = analyze_one(
+            self.PREFIX
+            + "Map m(f, partition(in, p, start, inc, end));\n"
+            + "m.atomicAdd();\nreturn f(m);"
+        )
+        assert info.maps[0].atomic_op == "add"
+
+    def test_double_atomic_api_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze_one(
+                self.PREFIX
+                + "Map m(f, partition(in, p, start, inc, end));\n"
+                + "m.atomicAdd();\nm.atomicMax();\nreturn f(m);"
+            )
+
+    def test_partition_wrong_arity(self):
+        with pytest.raises(SemanticError):
+            analyze_one(self.PREFIX + "Map m(f, partition(in, p));\nreturn 0;")
+
+    def test_partition_sequence_args_typed(self):
+        with pytest.raises(TypeMismatchError):
+            analyze_one(
+                "__tunable unsigned p;\nSequence start(i);\n"
+                "Map m(f, partition(in, p, start, p, start));\nreturn 0;"
+            )
+
+    def test_map_unknown_spectrum(self):
+        with pytest.raises(SemanticError):
+            analyze_one(
+                self.PREFIX + "Map m(nope, partition(in, p, start, inc, end));\n"
+                "return 0;"
+            )
+
+
+class TestSpectrumRules:
+    def test_signature_mismatch_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze_source(
+                "__codelet int f(const Array<1,int> in) { return 0; }\n"
+                "__codelet float f(const Array<1,float> in) { return 0.0f; }"
+            )
+
+    def test_duplicate_tags_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze_source(
+                "__codelet __tag(a) int f(const Array<1,int> in) { return 0; }\n"
+                "__codelet __tag(a) int f(const Array<1,int> in) { return 1; }"
+            )
+
+    def test_find_by_tag(self):
+        program = analyze_source(
+            "__codelet __tag(x) int f(const Array<1,int> in) { return 0; }\n"
+            "__codelet __tag(y) int f(const Array<1,int> in) { return 1; }"
+        )
+        assert program.find("f", "y").codelet.tag == "y"
+        with pytest.raises(SemanticError):
+            program.find("f", "z")
+
+    def test_first_param_must_be_container(self):
+        with pytest.raises(SemanticError):
+            analyze_source("__codelet int f(int x) { return x; }")

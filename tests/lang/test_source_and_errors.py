@@ -1,0 +1,83 @@
+"""Tests for source-location plumbing and the diagnostic hierarchy."""
+
+import pytest
+
+from repro.lang import (
+    LexError,
+    ParseError,
+    SemanticError,
+    SourceFile,
+    Span,
+    TangramError,
+    analyze_source,
+    parse_program,
+    tokenize,
+)
+from repro.lang.errors import TransformError
+from repro.lang.source import DUMMY_SPAN
+
+
+class TestSourceFile:
+    def test_line_col_mapping(self):
+        source = SourceFile("ab\ncde\n\nf", "t")
+        assert source.line_col(0) == (1, 1)
+        assert source.line_col(3) == (2, 1)
+        assert source.line_col(5) == (2, 3)
+        assert source.line_col(8) == (4, 1)
+
+    def test_offset_past_end_clamps(self):
+        source = SourceFile("ab", "t")
+        assert source.line_col(100) == (1, 3)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            SourceFile("ab", "t").line_col(-1)
+
+    def test_line_text(self):
+        source = SourceFile("first\nsecond", "t")
+        assert source.line_text(1) == "first"
+        assert source.line_text(2) == "second"
+        with pytest.raises(ValueError):
+            source.line_text(3)
+
+    def test_span_describe(self):
+        source = SourceFile("hello\nworld", "file.tgm")
+        span = Span(6, 11, source)
+        assert span.describe() == "file.tgm:2:1"
+        assert span.text == "world"
+
+    def test_dummy_span_safe(self):
+        assert DUMMY_SPAN.describe().startswith("<offset")
+        assert DUMMY_SPAN.caret_snippet() == ""
+
+
+class TestDiagnostics:
+    def test_lex_error_carries_location(self):
+        with pytest.raises(LexError) as exc:
+            tokenize("a @ b", "bad.tgm")
+        message = str(exc.value)
+        assert "bad.tgm:1:3" in message
+        assert "^" in message
+
+    def test_parse_error_carries_location(self):
+        with pytest.raises(ParseError) as exc:
+            parse_program("__codelet int f(const Array<1,int> in) { return ; ", "p.tgm")
+        assert "p.tgm" in str(exc.value)
+
+    def test_semantic_error_names_symbol(self):
+        with pytest.raises(SemanticError) as exc:
+            analyze_source(
+                "__codelet int f(const Array<1,int> in) { return ghost; }"
+            )
+        assert "ghost" in str(exc.value)
+
+    def test_error_hierarchy(self):
+        assert issubclass(LexError, TangramError)
+        assert issubclass(ParseError, TangramError)
+        assert issubclass(SemanticError, TangramError)
+        assert issubclass(TransformError, TangramError)
+
+    def test_stage_labels(self):
+        assert LexError("x").stage == "lex"
+        assert TransformError("x").stage == "transform"
+        assert "transform error" in str(TransformError("boom"))

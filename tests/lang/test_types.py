@@ -1,0 +1,88 @@
+"""Unit tests for the DSL type system (promotion and assignability)."""
+
+import pytest
+
+from repro.lang.types import (
+    BOOL,
+    BufferType,
+    ContainerType,
+    DOUBLE,
+    FLOAT,
+    INT,
+    MapType,
+    PartitionType,
+    ScalarType,
+    SEQUENCE,
+    UNSIGNED,
+    VECTOR,
+    VOID,
+    assignable,
+    promote,
+)
+
+
+class TestScalars:
+    def test_kind_validation(self):
+        with pytest.raises(ValueError):
+            ScalarType("quaternion")
+
+    def test_predicates(self):
+        assert INT.is_scalar() and INT.is_numeric() and INT.is_integral()
+        assert FLOAT.is_numeric() and not FLOAT.is_integral()
+        assert BOOL.is_integral() and not BOOL.is_numeric()
+        assert not VOID.is_numeric()
+        assert not VECTOR.is_scalar()
+
+    def test_str(self):
+        assert str(UNSIGNED) == "unsigned"
+        assert str(ContainerType(1, FLOAT)) == "const Array<1,float>"
+        assert str(BufferType(INT)) == "int[]"
+        assert str(MapType(FLOAT)) == "Map<float>"
+        assert str(PartitionType(INT)) == "Partition<int>"
+        assert str(SEQUENCE) == "Sequence"
+
+
+class TestPromotion:
+    @pytest.mark.parametrize(
+        "left,right,expected",
+        [
+            (INT, INT, INT),
+            (INT, UNSIGNED, UNSIGNED),
+            (INT, FLOAT, FLOAT),
+            (FLOAT, DOUBLE, DOUBLE),
+            (UNSIGNED, DOUBLE, DOUBLE),
+            (BOOL, BOOL, INT),  # bool arithmetic computes in int, like C
+            (BOOL, FLOAT, FLOAT),
+        ],
+    )
+    def test_usual_conversions(self, left, right, expected):
+        assert promote(left, right) == expected
+        assert promote(right, left) == expected
+
+    def test_void_has_no_value(self):
+        with pytest.raises(TypeError):
+            promote(VOID, INT)
+
+    def test_non_scalar_rejected(self):
+        with pytest.raises(TypeError):
+            promote(INT, VECTOR)
+
+
+class TestAssignability:
+    def test_scalar_conversions_free(self):
+        assert assignable(INT, FLOAT)  # C-style narrowing allowed
+        assert assignable(FLOAT, INT)
+        assert assignable(BOOL, INT)
+
+    def test_void_never_assignable(self):
+        assert not assignable(VOID, INT)
+        assert not assignable(INT, VOID)
+
+    def test_non_scalars_need_exact_match(self):
+        a = ContainerType(1, FLOAT)
+        b = ContainerType(1, INT)
+        assert assignable(a, ContainerType(1, FLOAT))
+        assert not assignable(a, b)
+        assert not assignable(a, FLOAT)
+        assert assignable(MapType(INT), MapType(INT))
+        assert not assignable(MapType(INT), MapType(FLOAT))

@@ -1,0 +1,98 @@
+"""Property-based tests (hypothesis) for the DSL frontend."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.lang import TokenKind, ast, parse_expression, tokenize
+
+# -- strategies -------------------------------------------------------
+
+_ident = st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True).filter(
+    lambda s: s not in {"if", "else", "for", "while", "return", "int",
+                        "true", "false", "min", "max", "bool", "void",
+                        "float", "double", "unsigned", "const"}
+)
+
+_int_literal = st.integers(min_value=0, max_value=2 ** 31 - 1).map(str)
+
+
+def _exprs(depth=3):
+    base = st.one_of(_ident, _int_literal)
+    if depth == 0:
+        return base
+    sub = _exprs(depth - 1)
+    return st.one_of(
+        base,
+        st.tuples(sub, st.sampled_from(["+", "-", "*", "/", "%"]), sub).map(
+            lambda t: f"({t[0]} {t[1]} {t[2]})"
+        ),
+        st.tuples(sub, st.sampled_from(["<", "<=", "==", "!="]), sub).map(
+            lambda t: f"({t[0]} {t[1]} {t[2]})"
+        ),
+        st.tuples(sub, sub, sub).map(lambda t: f"(({t[0]}) ? {t[1]} : {t[2]})"),
+        st.tuples(_ident, sub).map(lambda t: f"{t[0]}[{t[1]}]"),
+        st.tuples(sub, sub).map(lambda t: f"min({t[0]}, {t[1]})"),
+    )
+
+
+class TestLexerProperties:
+    @given(st.text(alphabet=" \t\n+-*/%<>=!&|^~()[]{},;.?:", max_size=60))
+    @settings(max_examples=200)
+    def test_operator_soup_never_crashes_or_loops(self, text):
+        """The lexer either tokenizes or raises LexError — never hangs."""
+        from repro.lang import LexError
+
+        try:
+            tokens = tokenize(text)
+        except LexError:
+            return
+        assert tokens[-1].kind is TokenKind.EOF
+
+    @given(_exprs())
+    @settings(max_examples=150)
+    def test_spans_cover_disjoint_source(self, text):
+        tokens = tokenize(text)[:-1]
+        previous_end = 0
+        for token in tokens:
+            assert token.span.start >= previous_end
+            assert token.span.text == token.text
+            previous_end = token.span.end
+
+    @given(st.lists(_ident, min_size=1, max_size=8))
+    @settings(max_examples=100)
+    def test_identifier_roundtrip(self, names):
+        text = " ".join(names)
+        tokens = tokenize(text)[:-1]
+        assert [t.text for t in tokens] == names
+
+
+class TestParserProperties:
+    @given(_exprs())
+    @settings(max_examples=200)
+    def test_generated_expressions_parse(self, text):
+        expr = parse_expression(text)
+        assert isinstance(expr, ast.Expr)
+
+    @given(_exprs())
+    @settings(max_examples=100)
+    def test_parse_is_deterministic(self, text):
+        assert parse_expression(text) == parse_expression(text)
+
+    @given(_exprs(2))
+    @settings(max_examples=100)
+    def test_extra_parens_do_not_change_structure(self, text):
+        assert parse_expression(text) == parse_expression(f"(({text}))")
+
+    @given(_exprs(2), _exprs(2))
+    @settings(max_examples=100)
+    def test_addition_left_associative(self, a, b):
+        expr = parse_expression(f"{a} + {b} + {a}")
+        assert isinstance(expr, ast.Binary)
+        assert expr.op == "+"
+        assert isinstance(expr.lhs, ast.Binary)
+
+    @given(_exprs(2))
+    @settings(max_examples=100)
+    def test_clone_equals_original(self, text):
+        expr = parse_expression(text)
+        assert expr.clone() == expr

@@ -1,0 +1,76 @@
+"""Property-based tests: every synthesized version computes the right
+reduction for arbitrary inputs, sizes, and tunables."""
+
+import numpy as np
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+import pytest
+
+from repro import ReductionFramework, Tunables
+from repro.core import FIG6
+
+_fw = {"add": ReductionFramework("add"), "max": ReductionFramework("max")}
+
+_sizes = st.integers(min_value=1, max_value=3000)
+_labels = st.sampled_from(sorted(FIG6))
+_blocks = st.sampled_from([32, 64, 128, 256])
+
+
+@st.composite
+def _arrays(draw):
+    n = draw(_sizes)
+    seed = draw(st.integers(min_value=0, max_value=2 ** 32 - 1))
+    rng = np.random.default_rng(seed)
+    return ((rng.random(n) - 0.5) * 10).astype(np.float32)
+
+
+class TestSumCorrectness:
+    @given(data=_arrays(), label=_labels, block=_blocks)
+    @settings(max_examples=60, deadline=None)
+    def test_any_version_any_size_any_block(self, data, label, block):
+        result = _fw["add"].run(data, label, Tunables(block=block))
+        expected = float(data.sum(dtype=np.float64))
+        assert result.value == pytest.approx(expected, rel=1e-3, abs=1e-3)
+
+    @given(data=_arrays(), grid=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=30, deadline=None)
+    def test_compound_any_partition_count(self, data, grid):
+        result = _fw["add"].run(data, "b", Tunables(block=64, grid=grid))
+        expected = float(data.sum(dtype=np.float64))
+        assert result.value == pytest.approx(expected, rel=1e-3, abs=1e-3)
+
+
+class TestMaxCorrectness:
+    @given(data=_arrays(), label=st.sampled_from(["l", "m", "n", "o", "p", "a", "e"]))
+    @settings(max_examples=40, deadline=None)
+    def test_max_any_version(self, data, label):
+        result = _fw["max"].run(data, label)
+        assert result.value == pytest.approx(float(data.max()), rel=1e-6, abs=1e-6)
+
+
+class TestInvariants:
+    @given(data=_arrays())
+    @settings(max_examples=25, deadline=None)
+    def test_all_versions_agree(self, data):
+        """Order-of-combination differs across versions, but sums agree
+        within float32 tolerance."""
+        values = [
+            _fw["add"].run(data, label).value for label in ("l", "m", "n", "p", "b")
+        ]
+        assert max(values) - min(values) <= max(1e-3, 1e-4 * abs(values[0]))
+
+    @given(data=_arrays())
+    @settings(max_examples=25, deadline=None)
+    def test_permutation_invariance(self, data):
+        shuffled = data.copy()
+        np.random.default_rng(0).shuffle(shuffled)
+        a = _fw["add"].run(data, "p").value
+        b = _fw["add"].run(shuffled, "p").value
+        assert a == pytest.approx(b, rel=1e-3, abs=1e-3)
+
+    @given(st.integers(min_value=1, max_value=2000))
+    @settings(max_examples=25, deadline=None)
+    def test_sum_of_ones_is_n(self, n):
+        data = np.ones(n, dtype=np.float32)
+        assert _fw["add"].run(data, "e").value == pytest.approx(float(n))

@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_variants(self, capsys):
+        assert main(["variants"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned: 30" in out
+        assert "(p) *" in out
+
+    def test_passes(self, capsys):
+        assert main(["passes"]) == 0
+        out = capsys.readouterr().out
+        assert "shuffle pass" in out
+        assert "shared-atomic pass" in out
+
+    def test_passes_with_unroll(self, capsys):
+        assert main(["passes", "--unroll"]) == 0
+        assert "unroll pass" in capsys.readouterr().out
+
+    def test_cuda(self, capsys):
+        assert main(["cuda", "p"]) == 0
+        out = capsys.readouterr().out
+        assert "__global__" in out
+        assert "__shfl_down" in out
+
+    def test_reduce_success(self, capsys):
+        assert main(["reduce", "5000", "--version", "m"]) == 0
+        out = capsys.readouterr().out
+        assert "relative error" in out
+        assert "kernel launches: 1" in out
+
+    def test_reduce_with_tunables(self, capsys):
+        assert main(["reduce", "5000", "--version", "b", "--block", "128",
+                     "--grid", "32"]) == 0
+
+    def test_reduce_max(self, capsys):
+        assert main(["reduce", "3000", "--op", "max", "--version", "n"]) == 0
+
+    def test_time(self, capsys):
+        assert main(["time", "4096", "--versions", "m,p"]) == 0
+        out = capsys.readouterr().out
+        assert "kepler" in out and "pascal" in out
+        assert "CUB" in out
+
+    def test_tune(self, capsys):
+        assert main(["tune", "10000", "--version", "b", "--arch",
+                     "maxwell"]) == 0
+        out = capsys.readouterr().out
+        assert "<- best" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_unknown_version_errors(self):
+        with pytest.raises(KeyError):
+            main(["cuda", "zz"])

@@ -1,0 +1,49 @@
+"""Integer-element reductions end to end (the paper's Figure 1 codelets
+are written over int; the evaluation uses float32 — we support both)."""
+
+import numpy as np
+import pytest
+
+from repro import ReductionFramework
+
+
+@pytest.fixture(scope="module")
+def fw_int():
+    return ReductionFramework("add", ctype="int")
+
+
+class TestIntReductions:
+    def test_dtype_property(self, fw_int, fw_add):
+        assert fw_int.dtype == np.int32
+        assert fw_add.dtype == np.float32
+
+    def test_exact_integer_sums(self, fw_int, rng):
+        data = rng.integers(-1000, 1000, size=54321).astype(np.int32)
+        for label in ("l", "m", "n", "p", "a", "e"):
+            result = fw_int.run(data, label)
+            assert result.value == float(data.sum()), label
+
+    def test_int_max_with_negatives(self, rng):
+        fw = ReductionFramework("max", ctype="int")
+        data = (-rng.integers(1, 10_000, size=4096)).astype(np.int32)
+        assert fw.run(data, "p").value == float(data.max())
+
+    def test_int_min(self, rng):
+        fw = ReductionFramework("min", ctype="int")
+        data = rng.integers(-500, 500, size=4096).astype(np.int32)
+        assert fw.run(data, "n").value == float(data.min())
+
+    def test_plan_dtype_meta(self, fw_int):
+        plan = fw_int.build("p", 1000)
+        assert plan.meta["dtype"] == "int32"
+
+    def test_identity_memset_fits_int32(self, rng):
+        """max/min identities must be int32-representable (no overflow)."""
+        fw = ReductionFramework("max", ctype="int")
+        data = rng.integers(-100, 100, size=100).astype(np.int32)
+        assert fw.run(data, "n").value == float(data.max())
+
+    def test_float_framework_unchanged(self, fw_add, rng):
+        data = rng.random(1000).astype(np.float32)
+        result = fw_add.run(data, "p")
+        assert result.value == pytest.approx(float(data.sum()), rel=1e-5)

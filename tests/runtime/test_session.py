@@ -1,0 +1,112 @@
+"""Tests for the end-to-end runtime framework."""
+
+import numpy as np
+import pytest
+
+from repro import ReductionFramework, Tunables, cub_time, kokkos_time, openmp_time
+from repro.core import FIG6
+
+
+class TestResolve:
+    def test_label_resolution(self, fw_add):
+        assert fw_add.resolve("p") == FIG6["p"]
+
+    def test_identifier_resolution(self, fw_add):
+        version = fw_add.resolve("DT,A / VA2S")
+        assert version == FIG6["p"]
+
+    def test_version_passthrough(self, fw_add):
+        assert fw_add.resolve(FIG6["a"]) is FIG6["a"]
+
+    def test_unknown_label(self, fw_add):
+        with pytest.raises(KeyError):
+            fw_add.resolve("zz")
+
+    def test_bad_type(self, fw_add):
+        with pytest.raises(TypeError):
+            fw_add.resolve(42)
+
+
+class TestRun:
+    def test_run_returns_result_and_metadata(self, fw_add, rng):
+        data = rng.random(3000).astype(np.float32)
+        result = fw_add.run(data, version="p")
+        assert result.value == pytest.approx(float(data.sum()), rel=1e-4)
+        assert result.label == "p"
+        assert result.profile.num_launches() == 1
+
+    def test_run_with_tunables(self, fw_add, rng):
+        data = rng.random(3000).astype(np.float32)
+        result = fw_add.run(data, version="b", tunables=Tunables(block=128, grid=16))
+        assert result.value == pytest.approx(float(data.sum()), rel=1e-4)
+
+    def test_run_rejects_empty(self, fw_add):
+        with pytest.raises(ValueError):
+            fw_add.run(np.array([], dtype=np.float32))
+
+    def test_run_rejects_2d(self, fw_add):
+        with pytest.raises(ValueError):
+            fw_add.run(np.zeros((4, 4), dtype=np.float32))
+
+    def test_max_framework(self, fw_max, rng):
+        data = ((rng.random(2000) - 0.5) * 7).astype(np.float32)
+        result = fw_max.run(data, version="n")
+        assert result.value == pytest.approx(float(data.max()))
+
+
+class TestTiming:
+    def test_time_positive_and_cached(self, fw_add):
+        t1 = fw_add.time(4096, "p", "kepler")
+        t2 = fw_add.time(4096, "p", "kepler")
+        assert t1 == t2 > 0
+
+    def test_profiles_shared_across_architectures(self, fw_add):
+        fw_add.time(4096, "m", "kepler")
+        cached = len(fw_add._profile_cache)
+        fw_add.time(4096, "m", "pascal")
+        assert len(fw_add._profile_cache) == cached  # no new profiling
+
+    def test_launch_overhead_floor(self, fw_add):
+        from repro import get_architecture
+
+        arch = get_architecture("kepler")
+        assert fw_add.time(64, "p", arch) >= arch.kernel_launch_overhead_us * 1e-6
+
+    def test_best_version_returns_catalog_label(self, fw_add):
+        label, seconds = fw_add.best_version(1024, "maxwell")
+        assert label in FIG6
+        assert seconds > 0
+
+    def test_best_version_custom_candidates(self, fw_add):
+        label, _ = fw_add.best_version(1024, "maxwell", candidates=["l", "m"])
+        assert label in ("l", "m")
+
+    def test_second_kernel_version_slower_than_atomic(self, fw_add):
+        """The pruning rule's premise: second-kernel versions lose."""
+        from repro.core import Version
+
+        atomic = fw_add.time(4096, "l", "kepler")
+        two_kernel = Version(
+            grid_pattern="tile",
+            final_combine="second_kernel",
+            block_kind="coop",
+            combine="V",
+        )
+        non_atomic = fw_add.time(4096, two_kernel, "kepler")
+        assert non_atomic > atomic
+
+
+class TestBaselineTimers:
+    def test_cub_time_includes_host_overhead(self):
+        from repro.baselines import CUB_HOST_OVERHEAD_S
+
+        assert cub_time(64, "kepler") > CUB_HOST_OVERHEAD_S
+
+    def test_kokkos_small_dominated_by_three_launches(self):
+        from repro import get_architecture
+
+        arch = get_architecture("pascal")
+        assert kokkos_time(64, arch) >= 3 * arch.kernel_launch_overhead_us * 1e-6
+
+    def test_openmp_time(self):
+        assert openmp_time(64) > 0

@@ -1,0 +1,210 @@
+"""Unit tests for the VIR instruction set, builder, printer, and programs."""
+
+import pytest
+
+from repro.vir import (
+    AtomGlobal,
+    Bar,
+    BinOp,
+    If,
+    Imm,
+    IRBuilder,
+    Kernel,
+    KernelStep,
+    LdGlobal,
+    MemsetStep,
+    Mov,
+    Plan,
+    Reg,
+    SharedDecl,
+    Shfl,
+    StShared,
+    While,
+    as_operand,
+    format_instr,
+    format_kernel,
+    format_plan,
+    walk_instrs,
+)
+
+
+class TestOperands:
+    def test_as_operand_coerces_scalars(self):
+        assert as_operand(3) == Imm(3)
+        assert as_operand(2.5) == Imm(2.5)
+        assert as_operand(True) == Imm(True)
+
+    def test_as_operand_passthrough(self):
+        reg = Reg("x")
+        assert as_operand(reg) is reg
+
+    def test_as_operand_rejects_junk(self):
+        with pytest.raises(TypeError):
+            as_operand("nope")
+
+
+class TestInstructionValidation:
+    def test_unknown_binop_rejected(self):
+        with pytest.raises(ValueError):
+            BinOp(Reg("d"), "frobnicate", 1, 2)
+
+    def test_unknown_atomic_rejected(self):
+        with pytest.raises(ValueError):
+            AtomGlobal("xor", "buf", 0, 1)
+
+    def test_unknown_scope_rejected(self):
+        with pytest.raises(ValueError):
+            AtomGlobal("add", "buf", 0, 1, scope="warp")
+
+    def test_shuffle_width_power_of_two(self):
+        Shfl(Reg("d"), Reg("s"), "down", 1, width=16)
+        with pytest.raises(ValueError):
+            Shfl(Reg("d"), Reg("s"), "down", 1, width=33)
+
+    def test_vector_load_dst_shape(self):
+        with pytest.raises(ValueError):
+            LdGlobal(Reg("d"), "buf", 0, width=4)
+        LdGlobal([Reg("a"), Reg("b")], "buf", 0, width=2)
+
+    def test_shared_decl_positive(self):
+        with pytest.raises(ValueError):
+            SharedDecl("s", 0)
+
+
+class TestBuilder:
+    def test_fresh_registers_unique(self):
+        b = IRBuilder()
+        regs = {b.fresh().name for _ in range(100)}
+        assert len(regs) == 100
+
+    def test_regions_nest_and_restore(self):
+        b = IRBuilder()
+        cond = b.binop("lt", b.special("tid"), 10)
+        with b.if_(cond):
+            b.mov(1)
+        body = b.finish()
+        assert isinstance(body[-1], If)
+        assert len(body[-1].then) == 1
+
+    def test_unclosed_region_detected(self):
+        b = IRBuilder()
+        cond = b.fresh()
+        region = b.if_(cond)
+        region.__enter__()
+        with pytest.raises(RuntimeError):
+            b.finish()
+
+    def test_while_regions(self):
+        b = IRBuilder()
+        cond = b.fresh("c")
+        loop = b.while_(cond)
+        with loop.cond:
+            b.mov(False, dst=cond)
+        with loop.body:
+            b.mov(0)
+        body = b.finish()
+        assert isinstance(body[-1], While)
+        assert len(body[-1].cond_block) == 1
+
+
+class TestKernel:
+    def _kernel(self):
+        b = IRBuilder()
+        tid = b.special("tid")
+        n = b.ld_param("n")
+        ok = b.binop("lt", tid, n)
+        with b.if_(ok):
+            value = b.ld_global("in", tid)
+            b.st_shared("smem", tid, value)
+            b.bar()
+        return Kernel(
+            "k",
+            params=["n"],
+            buffers=["in"],
+            shared=[SharedDecl("smem", 64)],
+            body=b.finish(),
+        )
+
+    def test_register_count(self):
+        kernel = self._kernel()
+        assert kernel.register_count() >= 4
+
+    def test_instruction_count_descends_regions(self):
+        kernel = self._kernel()
+        assert kernel.instruction_count() == len(list(walk_instrs(kernel.body)))
+        assert kernel.instruction_count() > 4
+
+    def test_shared_bytes(self):
+        assert self._kernel().shared_bytes() == 64 * 4
+
+    def test_validate_catches_unknown_buffer(self):
+        kernel = self._kernel()
+        kernel.buffers = []
+        with pytest.raises(ValueError):
+            kernel.validate()
+
+    def test_validate_catches_unknown_shared(self):
+        kernel = self._kernel()
+        kernel.shared = []
+        with pytest.raises(ValueError):
+            kernel.validate()
+
+    def test_validate_catches_unknown_param(self):
+        kernel = self._kernel()
+        kernel.params = []
+        with pytest.raises(ValueError):
+            kernel.validate()
+
+
+class TestLaunchValidation:
+    def test_missing_args_rejected(self):
+        kernel = Kernel("k", params=["n"], buffers=[], shared=[], body=[])
+        with pytest.raises(ValueError):
+            KernelStep(kernel, grid=1, block=32, args={}, buffers={})
+
+    def test_missing_buffers_rejected(self):
+        kernel = Kernel("k", params=[], buffers=["in"], shared=[], body=[])
+        with pytest.raises(ValueError):
+            KernelStep(kernel, grid=1, block=32, args={}, buffers={})
+
+    def test_nonpositive_launch_rejected(self):
+        kernel = Kernel("k", params=[], buffers=[], shared=[], body=[])
+        with pytest.raises(ValueError):
+            KernelStep(kernel, grid=0, block=32)
+
+
+class TestPrinter:
+    def test_format_simple_instrs(self):
+        assert "mov" in format_instr(Mov(Reg("a"), Imm(1)))
+        assert "bar.sync" in format_instr(Bar())
+        assert "st.shared" in format_instr(StShared("s", Imm(0), Imm(1)))
+
+    def test_format_kernel_contains_header_and_shared(self):
+        kernel = Kernel(
+            "k", params=["n"], buffers=["in"],
+            shared=[SharedDecl("smem", 8)],
+            body=[Mov(Reg("a"), Imm(0))],
+        )
+        text = format_kernel(kernel)
+        assert ".kernel k" in text
+        assert ".shared smem[8]" in text
+
+    def test_format_plan(self):
+        kernel = Kernel("k", params=[], buffers=["out"], shared=[], body=[])
+        plan = Plan(
+            "p",
+            steps=[
+                MemsetStep("out", 0.0),
+                KernelStep(kernel, grid=2, block=64, buffers={"out": "out"}),
+            ],
+            scratch={"out": 1},
+        )
+        text = format_plan(plan)
+        assert "memset out" in text
+        assert "launch k<<<2, 64>>>" in text
+        assert ".scratch out[1]" in text
+
+    def test_format_structured(self):
+        instr = If(Reg("c"), then=[Mov(Reg("a"), Imm(1))], otherwise=[Bar()])
+        text = format_instr(instr)
+        assert "if %c {" in text and "} else {" in text
