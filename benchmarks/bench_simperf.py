@@ -1,0 +1,108 @@
+"""Search-infrastructure performance snapshot (not a paper figure).
+
+Measures the three mechanisms of docs/PERFORMANCE.md on this machine:
+
+1. batched vs sequential block execution of one large unsampled
+   profiling launch (n = 1M, grid 64 — the ISSUE acceptance case);
+2. cold vs warm ``best_version`` sweeps through the unified profile
+   cache across several paper sizes.
+
+Results go to ``BENCH_searchspace.json`` at the repository root so the
+speedups are tracked alongside the code. Both headline ratios are
+asserted: warm sweep >= 5x cold, batched profiling >= 2x sequential.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from conftest import once, write_table
+from repro import ReductionFramework, Tunables
+from repro.gpusim import Executor
+from repro.perf import ProfileCache
+
+SNAPSHOT_PATH = Path(__file__).parent.parent / "BENCH_searchspace.json"
+
+#: Sweep sizes for the cold/warm cache measurement (a representative
+#: slice of conftest.PAPER_SIZES; larger sizes profile sampled anyway).
+SWEEP_SIZES = (4096, 65536, 1048576)
+
+#: The ISSUE acceptance case: a large launch profiled *unsampled*.
+LARGE_N = 1 << 20
+LARGE_TUNABLES = Tunables(block=256, grid=64)
+
+
+def _profile_large(mode: str) -> float:
+    """Seconds to profile version (b) at LARGE_N, fully executed."""
+    fw = ReductionFramework(op="add", cache=ProfileCache())
+    plan = fw.build("b", LARGE_N, LARGE_TUNABLES)
+    executor = Executor(mode=mode)
+    executor.device.alloc("in", LARGE_N, dtype=np.float32)
+    start = time.perf_counter()
+    executor.run_plan(plan)  # grid 64 <= sampling threshold: unsampled
+    return time.perf_counter() - start
+
+
+def _sweep(fw) -> float:
+    """Seconds for a best_version sweep over the Figure 6 catalog."""
+    start = time.perf_counter()
+    for n in SWEEP_SIZES:
+        fw.best_version(n, "kepler")
+    return time.perf_counter() - start
+
+
+def measure():
+    sequential_s = _profile_large("sequential")
+    batched_s = _profile_large("batched")
+
+    fw = ReductionFramework(op="add", cache=ProfileCache())
+    cold_s = _sweep(fw)
+    warm_s = _sweep(fw)  # same framework: every profile now cached
+
+    stats = fw.cache.stats
+    return {
+        "bench": "simperf",
+        "versions_swept": len(fw.catalog),
+        "sweep_sizes": list(SWEEP_SIZES),
+        "profile_large": {
+            "version": "b",
+            "n": LARGE_N,
+            "block": LARGE_TUNABLES.block,
+            "grid": LARGE_TUNABLES.grid,
+            "sequential_s": round(sequential_s, 4),
+            "batched_s": round(batched_s, 4),
+            "speedup": round(sequential_s / batched_s, 2),
+        },
+        "best_version_sweep": {
+            "cold_s": round(cold_s, 4),
+            "warm_s": round(warm_s, 4),
+            "speedup": round(cold_s / warm_s, 2),
+            "cache": stats.as_dict(),
+        },
+    }
+
+
+def test_simperf_snapshot(benchmark):
+    data = once(benchmark, measure)
+    SNAPSHOT_PATH.write_text(json.dumps(data, indent=2) + "\n")
+    large = data["profile_large"]
+    sweep = data["best_version_sweep"]
+    write_table(
+        "simperf",
+        [
+            "Search-infrastructure snapshot (see docs/PERFORMANCE.md)",
+            f"  unsampled profile, n={large['n']}, grid={large['grid']}:",
+            f"    sequential {large['sequential_s']:.3f}s   "
+            f"batched {large['batched_s']:.3f}s   "
+            f"({large['speedup']:.1f}x)",
+            f"  best_version sweep over {data['versions_swept']} versions"
+            f" x {len(data['sweep_sizes'])} sizes:",
+            f"    cold {sweep['cold_s']:.3f}s   warm {sweep['warm_s']:.3f}s"
+            f"   ({sweep['speedup']:.1f}x)",
+            f"  [snapshot written to {SNAPSHOT_PATH.name}]",
+        ],
+    )
+    assert large["speedup"] >= 2.0, "batched profiling must beat sequential 2x"
+    assert sweep["speedup"] >= 5.0, "warm-cache sweep must beat cold 5x"

@@ -5,8 +5,11 @@ evaluation (Section IV). Results are printed and also written to
 ``benchmarks/out/<name>.txt`` so EXPERIMENTS.md can reference them.
 
 The profiles behind the timing model are architecture-independent and
-cached on the shared session framework, so the whole harness reuses one
-round of simulation work.
+live in the unified :mod:`repro.perf` cache. The harness enables the
+cache's on-disk tier under ``benchmarks/out/cache/`` (override with
+``REPRO_CACHE_DIR``), so a *repeat* benchmark run skips re-simulation
+entirely — delete that directory or run ``python -m repro cache --clear``
+to force cold numbers.
 """
 
 import os
@@ -14,7 +17,10 @@ from pathlib import Path
 
 import pytest
 
-from repro import ReductionFramework, Tunables
+_OUT = Path(__file__).parent / "out"
+os.environ.setdefault("REPRO_CACHE_DIR", str(_OUT / "cache"))
+
+from repro import ReductionFramework, Tunables  # noqa: E402  (after env setup)
 
 #: The paper's x-axis: array sizes from 64 to ~260M 32-bit elements.
 PAPER_SIZES = [

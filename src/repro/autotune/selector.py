@@ -12,7 +12,13 @@ from __future__ import annotations
 import bisect
 from dataclasses import dataclass, field
 
-from .tuner import DEFAULT_BLOCKS, DEFAULT_GRIDS, best_tuned_version
+from .tuner import (
+    DEFAULT_BLOCKS,
+    DEFAULT_GRIDS,
+    _bulk_profile,
+    best_tuned_version,
+    configurations,
+)
 
 #: Size grid used to build the selection table (powers of four, like the
 #: paper's sweep from 64 to 260M elements).
@@ -42,8 +48,30 @@ class DynamicSelector:
         candidates=None,
         blocks=DEFAULT_BLOCKS,
         grids=DEFAULT_GRIDS,
+        max_workers=None,
     ) -> "DynamicSelector":
-        """Tune/tabulate the best version at each size in ``sizes``."""
+        """Tune/tabulate the best version at each size in ``sizes``.
+
+        The full size × candidate × config grid is profiled up front in
+        one parallel batch, so table construction is one fan-out rather
+        than one sweep per size.
+        """
+        resolved = [
+            framework.resolve(key)
+            for key in (
+                candidates if candidates is not None else list(framework.catalog)
+            )
+        ]
+        _bulk_profile(
+            framework,
+            [
+                (version, n, tunables)
+                for n in sorted(sizes)
+                for version in resolved
+                for tunables in configurations(version, blocks, grids)
+            ],
+            max_workers=max_workers,
+        )
         entries = []
         for n in sorted(sizes):
             key, tunables, seconds = best_tuned_version(

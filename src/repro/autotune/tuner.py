@@ -9,7 +9,11 @@ configuration grid for one version and returns the best
 
 Because our timing is a model over cached, architecture-independent
 event profiles, a full sweep takes seconds rather than the paper's ~20
-minutes.
+minutes. The sweep first bulk-profiles every missing (version ×
+tunables) point through ``framework.profile_many`` — which fans work
+out over the :mod:`repro.perf.parallel` pool and merges into the shared
+profile cache deterministically — then reads the analytic times back
+from cache hits.
 """
 
 from __future__ import annotations
@@ -46,6 +50,13 @@ def configurations(version, blocks=DEFAULT_BLOCKS, grids=DEFAULT_GRIDS):
     return configs
 
 
+def _bulk_profile(framework, specs, max_workers=None) -> None:
+    """Pre-profile many points at once when the framework supports it."""
+    profile_many = getattr(framework, "profile_many", None)
+    if profile_many is not None and len(specs) > 1:
+        profile_many(specs, max_workers=max_workers)
+
+
 def tune_version(
     framework,
     version,
@@ -53,12 +64,19 @@ def tune_version(
     arch,
     blocks=DEFAULT_BLOCKS,
     grids=DEFAULT_GRIDS,
+    max_workers=None,
 ) -> TuneResult:
     """Sweep tuning parameters for one version at input size ``n``."""
     resolved = framework.resolve(version)
+    configs = configurations(resolved, blocks, grids)
+    _bulk_profile(
+        framework,
+        [(resolved, n, tunables) for tunables in configs],
+        max_workers=max_workers,
+    )
     best = None
     trials = []
-    for tunables in configurations(resolved, blocks, grids):
+    for tunables in configs:
         seconds = framework.time(n, resolved, arch, tunables)
         trials.append((tunables, seconds))
         if best is None or seconds < best[1]:
@@ -75,13 +93,24 @@ def tune_all(
     candidates=None,
     blocks=DEFAULT_BLOCKS,
     grids=DEFAULT_GRIDS,
+    max_workers=None,
 ) -> dict:
     """Tune every candidate version; returns ``{key: TuneResult}``.
 
     This reproduces the paper's tuning run ("for the biggest problem
-    size"); pass the sweep's largest ``n``.
+    size"); pass the sweep's largest ``n``. The whole candidate × config
+    grid is profiled up front in one parallel batch.
     """
     candidates = candidates if candidates is not None else list(framework.catalog)
+    _bulk_profile(
+        framework,
+        [
+            (framework.resolve(key), n, tunables)
+            for key in candidates
+            for tunables in configurations(framework.resolve(key), blocks, grids)
+        ],
+        max_workers=max_workers,
+    )
     return {
         key: tune_version(framework, key, n, arch, blocks, grids)
         for key in candidates
@@ -95,9 +124,12 @@ def best_tuned_version(
     candidates=None,
     blocks=DEFAULT_BLOCKS,
     grids=DEFAULT_GRIDS,
+    max_workers=None,
 ):
     """Best (version key, Tunables, seconds) across candidates at size n."""
-    results = tune_all(framework, n, arch, candidates, blocks, grids)
+    results = tune_all(
+        framework, n, arch, candidates, blocks, grids, max_workers=max_workers
+    )
     key = min(results, key=lambda k: results[k].time_s)
     winner = results[key]
     return key, winner.tunables, winner.time_s

@@ -7,7 +7,12 @@ Commands:
 * ``cuda``      — emit the CUDA C for one version (Listings 1-4 style);
 * ``reduce``    — run a reduction on random data on the simulator;
 * ``time``      — modelled wall times across architectures;
-* ``tune``      — sweep tunable parameters for one version.
+* ``tune``      — sweep tunable parameters for one version;
+* ``cache``     — inspect or clear the unified profile cache.
+
+Set ``REPRO_CACHE_DIR`` to persist profiles on disk across invocations;
+``--cache-stats`` on ``time``/``tune`` prints hit/miss/time-saved
+statistics for the invocation.
 """
 
 from __future__ import annotations
@@ -59,6 +64,18 @@ def cmd_cuda(args) -> int:
     return 0
 
 
+def _print_cache_stats() -> None:
+    from .perf import default_cache
+
+    stats = default_cache().stats
+    print(
+        f"[cache] hits={stats.hits} (disk {stats.disk_hits}) "
+        f"misses={stats.misses} stores={stats.stores} "
+        f"simulation saved={stats.time_saved_s:.2f}s "
+        f"spent={stats.compute_time_s:.2f}s"
+    )
+
+
 def cmd_reduce(args) -> int:
     from .codegen import Tunables
 
@@ -70,7 +87,9 @@ def cmd_reduce(args) -> int:
     ) else None
     if tunables is None and args.block:
         tunables = Tunables(block=args.block)
-    result = fw.run(data, version=args.version, tunables=tunables)
+    result = fw.run(
+        data, version=args.version, tunables=tunables, engine_mode=args.engine
+    )
     reference = {
         "add": float(data.sum(dtype=np.float64)),
         "max": float(data.max()),
@@ -102,6 +121,8 @@ def cmd_time(args) -> int:
             f"{openmp_time(args.n) * 1e6:>12.1f}"
         )
     print("(microseconds, modelled)")
+    if args.cache_stats:
+        _print_cache_stats()
     return 0
 
 
@@ -109,12 +130,37 @@ def cmd_tune(args) -> int:
     from .autotune import tune_version
 
     fw = _framework(args)
-    result = tune_version(fw, args.version, args.n, args.arch)
+    result = tune_version(
+        fw, args.version, args.n, args.arch, max_workers=args.jobs
+    )
     print(f"tuning version ({args.version}) at n={args.n} on {args.arch}:")
     for tunables, seconds in sorted(result.trials, key=lambda t: t[1]):
         marker = "  <- best" if tunables == result.tunables else ""
         print(f"  block={tunables.block:>4} grid={str(tunables.grid):>5}: "
               f"{seconds * 1e6:>9.1f} us{marker}")
+    if args.cache_stats:
+        _print_cache_stats()
+    return 0
+
+
+def cmd_cache(args) -> int:
+    from .perf import default_cache
+
+    cache = default_cache()
+    if args.clear:
+        cache.clear(memory=True, disk=True)
+        print("cache cleared (memory + disk)")
+        return 0
+    info = cache.disk_info()
+    if info["dir"]:
+        print(f"disk tier: {info['dir']}")
+        print(f"  entries: {info['entries']}")
+        print(f"  size:    {info['bytes'] / 1024:.1f} KiB")
+    else:
+        print("disk tier: disabled (set REPRO_CACHE_DIR to enable)")
+    print(f"memory tier: {len(cache)}/{cache.max_entries} entries")
+    stats = cache.stats.as_dict()
+    print("this process: " + ", ".join(f"{k}={v}" for k, v in stats.items()))
     return 0
 
 
@@ -149,6 +195,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--block", type=int, default=None)
     p.add_argument("--grid", type=int, default=None)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--engine", default="auto",
+                   choices=("auto", "batched", "sequential"),
+                   help="simulator execution mode (default: auto)")
     p.set_defaults(func=cmd_reduce)
 
     p = sub.add_parser("time", help="modelled times across architectures")
@@ -156,6 +205,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("n", type=int)
     p.add_argument("--versions", default=None,
                    help="comma-separated labels (default: m,n,p,b)")
+    p.add_argument("--cache-stats", action="store_true",
+                   help="print profile-cache statistics afterwards")
     p.set_defaults(func=cmd_time)
 
     p = sub.add_parser("tune", help="sweep tunables for one version")
@@ -164,7 +215,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--version", default="b")
     p.add_argument("--arch", default="kepler",
                    choices=("kepler", "maxwell", "pascal"))
+    p.add_argument("--jobs", type=int, default=None,
+                   help="parallel profiling workers (default: auto)")
+    p.add_argument("--cache-stats", action="store_true",
+                   help="print profile-cache statistics afterwards")
     p.set_defaults(func=cmd_tune)
+
+    p = sub.add_parser(
+        "cache", help="inspect or clear the unified profile cache"
+    )
+    p.add_argument("--clear", action="store_true",
+                   help="drop every cached profile (memory + disk)")
+    p.set_defaults(func=cmd_cache)
     return parser
 
 

@@ -2,7 +2,13 @@
 
 from .arch import ARCHITECTURES, Architecture, KEPLER, MAXWELL, PASCAL, get_architecture
 from .device import Device, DeviceError
-from .engine import Executor, SimulationError, run_plan
+from .engine import (
+    EXECUTION_MODES,
+    Executor,
+    SimulationError,
+    analyze_batchability,
+    run_plan,
+)
 from .events import EVENT_KEYS, PlanProfile, StepProfile
 from .timing import (
     MEMSET_OVERHEAD_S,
@@ -18,7 +24,9 @@ __all__ = [
     "Device",
     "DeviceError",
     "EVENT_KEYS",
+    "EXECUTION_MODES",
     "Executor",
+    "analyze_batchability",
     "KEPLER",
     "MAXWELL",
     "MEMSET_OVERHEAD_S",

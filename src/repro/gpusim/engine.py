@@ -8,8 +8,29 @@ threads of the block at once as a numpy vector operation, restricted to
 the currently *active lanes*. Structured ``If``/``While`` regions narrow
 the active mask exactly the way SIMT hardware's reconvergence stack does,
 so divergence, predication and warp-level operations (shuffles, atomics)
-behave like the real machine. Blocks run sequentially, which makes
-global-memory atomics trivially atomic across blocks.
+behave like the real machine.
+
+Blocks execute in one of two modes:
+
+* **sequential** — one block at a time through :class:`_BlockRun`; global
+  atomics are trivially atomic across blocks and later blocks observe
+  earlier blocks' global stores (the reference semantics);
+* **batched** — all (or a memory-capped chunk of) blocks of the launch
+  as a single 2-D ``blocks × threads`` numpy batch through
+  :class:`_BatchedRun`. Reduction kernels have block-uniform control
+  flow, so every per-thread vector op, mask and event counter simply
+  gains a leading block axis; one pass over the instruction stream then
+  services every block at once, which removes the dominant Python
+  interpretation overhead.
+
+:func:`analyze_batchability` decides per kernel whether the batched mode
+is observationally equivalent to the sequential reference — it falls
+back automatically when a kernel reads a global buffer it also writes
+(cross-block read-after-write), stores to global memory inside a loop,
+or issues order-sensitive floating-point global atomics from inside a
+loop / from multiple sites. On batchable kernels both modes produce
+bit-identical numeric results **and** bit-identical event counters
+(verified exhaustively by ``tests/gpusim/test_batched_engine.py``).
 
 Profiling counts warp-instructions (one unit per warp with ≥1 active
 lane), global-memory transactions at 128-byte-segment granularity
@@ -144,6 +165,73 @@ _ATOMIC_UFUNC = {
 }
 
 
+#: Execution-mode names accepted by :class:`Executor`.
+EXECUTION_MODES = ("auto", "batched", "sequential")
+
+
+def _walk_while_depth(body, in_while=False):
+    """Yield ``(instr, inside_a_While)`` for every instruction in a body."""
+    for instr in body:
+        yield instr, in_while
+        if isinstance(instr, If):
+            yield from _walk_while_depth(instr.then, in_while)
+            yield from _walk_while_depth(instr.otherwise, in_while)
+        elif isinstance(instr, While):
+            yield from _walk_while_depth(instr.cond_block, True)
+            yield from _walk_while_depth(instr.body, True)
+
+
+def analyze_batchability(kernel, device: Device = None):
+    """Can ``kernel`` run batched with sequential-identical observables?
+
+    Returns ``(ok, reason)``. The batched engine preserves block-major
+    ordering for every *single* instruction (numpy applies fancy-indexed
+    stores and ``ufunc.at`` atomics in flattened block-major order), so
+    the only hazards are *cross-instruction* interleavings:
+
+    * a kernel that loads a global buffer it also stores/atomically
+      updates — later blocks would observe earlier blocks' writes under
+      sequential execution but not under lockstep batching;
+    * global stores inside a ``While`` — iteration-major store order
+      differs from the sequential block-major order when blocks overlap;
+    * floating-point ``add``/``sub`` global atomics issued from inside a
+      ``While`` or from more than one site per buffer — rounding depends
+      on the cross-block interleaving. Integer and min/max atomics are
+      order-independent and stay batchable.
+    """
+    loads = set()
+    stores = set()
+    atomics = {}
+    for instr, in_while in _walk_while_depth(kernel.body):
+        if isinstance(instr, LdGlobal):
+            loads.add(instr.buf)
+        elif isinstance(instr, StGlobal):
+            stores.add(instr.buf)
+            if in_while:
+                return False, f"global store inside a loop ({instr.buf!r})"
+        elif isinstance(instr, AtomGlobal):
+            entry = atomics.setdefault(
+                instr.buf, {"count": 0, "in_while": False, "ops": set()}
+            )
+            entry["count"] += 1
+            entry["in_while"] = entry["in_while"] or in_while
+            entry["ops"].add(instr.op)
+    hazard = loads & (stores | set(atomics))
+    if hazard:
+        return False, f"load/store hazard on {sorted(hazard)}"
+    for buf, entry in atomics.items():
+        dtype_kind = "f"
+        if device is not None:
+            try:
+                dtype_kind = device.get(buf).dtype.kind
+            except Exception:
+                dtype_kind = "f"
+        order_sensitive = dtype_kind == "f" and bool(entry["ops"] & {"add", "sub"})
+        if order_sensitive and (entry["in_while"] or entry["count"] > 1):
+            return False, f"order-sensitive float atomics on {buf!r}"
+    return True, "block-uniform"
+
+
 class Executor:
     """Executes :class:`~repro.vir.program.Plan` objects on a device."""
 
@@ -151,15 +239,25 @@ class Executor:
     #: that never converge (well above any legitimate coarsening loop).
     DEFAULT_LOOP_CAP = 2_000_000
 
+    #: Cap on simulated lanes (blocks × threads) held in memory at once
+    #: by the batched mode; larger launches run in block-ordered chunks.
+    BATCH_LANES = 1 << 17
+
     def __init__(
         self,
         device: Device = None,
         check_races: bool = False,
         loop_cap: int = None,
+        mode: str = "auto",
     ):
+        if mode not in EXECUTION_MODES:
+            raise ValueError(
+                f"mode must be one of {EXECUTION_MODES}, got {mode!r}"
+            )
         self.device = device if device is not None else Device()
         self.check_races = check_races
         self.loop_cap = loop_cap or self.DEFAULT_LOOP_CAP
+        self.mode = mode
 
     # -- plan level -----------------------------------------------------
 
@@ -197,6 +295,15 @@ class Executor:
 
     # -- kernel level ------------------------------------------------------
 
+    def execution_mode(self, step: KernelStep) -> str:
+        """Resolve the execution mode used for one launch."""
+        if self.mode != "auto":
+            return self.mode
+        if step.grid <= 1:
+            return "sequential"  # nothing to batch
+        ok, _ = analyze_batchability(step.kernel, self.device)
+        return "batched" if ok else "sequential"
+
     def run_kernel(self, step: KernelStep, sample_limit: int = None) -> StepProfile:
         kernel = step.kernel
         profile = StepProfile(
@@ -213,14 +320,28 @@ class Executor:
             )
             profile.sampled_blocks = len(block_ids)
         else:
-            block_ids = range(step.grid)
+            block_ids = np.arange(step.grid, dtype=np.int64)
 
+        mode = self.execution_mode(step)
+        profile.meta["exec.mode"] = mode
         atomic_addr_counts = {}
-        for block_id in block_ids:
-            block = _BlockRun(
-                self, step, int(block_id), profile.events, atomic_addr_counts
-            )
-            block.run()
+        if mode == "batched":
+            batch = max(1, self.BATCH_LANES // max(1, step.block))
+            for start in range(0, len(block_ids), batch):
+                chunk = _BatchedRun(
+                    self,
+                    step,
+                    block_ids[start : start + batch],
+                    profile.events,
+                    atomic_addr_counts,
+                )
+                chunk.run()
+        else:
+            for block_id in block_ids:
+                block = _BlockRun(
+                    self, step, int(block_id), profile.events, atomic_addr_counts
+                )
+                block.run()
 
         executed_blocks = profile.sampled_blocks or step.grid
         profile.events["blocks"] = executed_blocks
@@ -612,6 +733,459 @@ class _BlockRun:
         source_lane = np.where(in_range, base + target, lanes)
         source_lane = np.clip(source_lane, 0, self.nthreads - 1)
         result = src[source_lane]
+        self._write(instr.dst, result, mask)
+        self._count("inst.shfl", mask)
+
+
+class _BatchedRun:
+    """Execution state of a *batch* of blocks (2-D ``blocks × threads``).
+
+    Mirrors :class:`_BlockRun` instruction for instruction, with every
+    per-thread array gaining a leading block axis: registers and masks
+    are ``(B, T)``, shared memory is ``(B, S)``. Per-warp statistics
+    group by a flat ``block*warps_per_block + warp`` id so the summed
+    counters are bit-identical to running the same blocks sequentially.
+
+    Semantic deltas vs. the sequential reference (both only observable
+    from *invalid* kernels):
+
+    * register "freshness" is batch-global, so a read of a register that
+      some block never wrote returns the vectorized value instead of
+      raising;
+    * out-of-bounds errors report the index range over the whole batch
+      rather than the first offending block.
+    """
+
+    def __init__(self, executor, step, block_ids, events, atomic_addr_counts):
+        self.executor = executor
+        self.device = executor.device
+        self.step = step
+        self.kernel = step.kernel
+        self.block_ids = np.asarray(block_ids, dtype=np.int64)
+        self.nblocks = len(self.block_ids)
+        self.nthreads = step.block
+        self.shape = (self.nblocks, self.nthreads)
+        self.events = events
+        self.atomic_addr_counts = atomic_addr_counts
+        self.regs = {}
+        self.shared = {
+            decl.name: np.zeros((self.nblocks, decl.size), dtype=np.float64)
+            for decl in self.kernel.shared
+        }
+        self.nwarps = (self.nthreads + WARP - 1) // WARP
+        self._warp_of_lane = np.arange(self.nthreads) // WARP
+        self._warp_starts = np.arange(0, self.nthreads, WARP)
+        #: row (block slot) index per lane, and flat per-warp group id.
+        self._brow = np.broadcast_to(
+            np.arange(self.nblocks, dtype=np.int64)[:, None], self.shape
+        )
+        self._gid = (
+            np.arange(self.nblocks, dtype=np.int64)[:, None] * self.nwarps
+            + self._warp_of_lane[None, :]
+        )
+
+    # -- helpers -------------------------------------------------------
+
+    def run(self) -> None:
+        mask = np.ones(self.shape, dtype=bool)
+        self._exec_body(self.kernel.body, mask)
+
+    def _count(self, key, mask) -> None:
+        if not mask.any():
+            return
+        # bitwise_or over bool == "any active lane", per warp per block.
+        per_warp = np.bitwise_or.reduceat(mask, self._warp_starts, axis=1)
+        warps = int(np.count_nonzero(per_warp))
+        if warps:
+            self.events[key] += warps
+
+    def _read(self, operand, mask):
+        if isinstance(operand, Imm):
+            return operand.value
+        if isinstance(operand, Reg):
+            if operand.name not in self.regs:
+                raise SimulationError(
+                    f"kernel {self.kernel.name!r}: read of unwritten register "
+                    f"{operand}"
+                )
+            return self.regs[operand.name]
+        raise SimulationError(f"bad operand {operand!r}")
+
+    def _write(self, reg: Reg, value, mask) -> None:
+        value = np.asarray(value)
+        if value.shape != self.shape:
+            value = np.broadcast_to(value, self.shape)
+        current = self.regs.get(reg.name)
+        if current is None or mask.all():
+            # Inactive lanes keep whatever the vectorized computation put
+            # there — deterministic in the simulator, "undefined" on HW.
+            self.regs[reg.name] = np.array(value, dtype=_promote_dtype(value.dtype))
+            return
+        merged_dtype = np.result_type(current.dtype, value.dtype)
+        if merged_dtype != current.dtype:
+            current = current.astype(merged_dtype)
+        else:
+            current = current.copy()
+        current[mask] = value[mask]
+        self.regs[reg.name] = current
+
+    # -- structured execution ----------------------------------------------
+
+    def _exec_body(self, body, mask) -> None:
+        for instr in body:
+            if not mask.any():
+                return
+            self._exec(instr, mask)
+
+    def _exec(self, instr, mask) -> None:
+        if isinstance(instr, Comment):
+            return
+        if isinstance(instr, BinOp):
+            a = self._read(instr.a, mask)
+            b = self._read(instr.b, mask)
+            self._write(instr.dst, _np_binop(instr.op, a, b), mask)
+            self._count("inst.alu", mask)
+        elif isinstance(instr, UnOp):
+            a = self._read(instr.a, mask)
+            if instr.op == "neg":
+                value = -np.asarray(_coerce_bool(a))
+            elif instr.op == "lnot":
+                value = np.logical_not(a)
+            else:  # bnot
+                value = np.bitwise_not(np.asarray(_coerce_bool(a)))
+            self._write(instr.dst, value, mask)
+            self._count("inst.alu", mask)
+        elif isinstance(instr, Mov):
+            self._write(instr.dst, self._read(instr.a, mask), mask)
+            self._count("inst.alu", mask)
+        elif isinstance(instr, Sel):
+            cond = self._read(instr.cond, mask)
+            a = self._read(instr.a, mask)
+            b = self._read(instr.b, mask)
+            self._write(instr.dst, np.where(cond, a, b), mask)
+            self._count("inst.alu", mask)
+        elif isinstance(instr, Special):
+            self._write(instr.dst, self._special(instr.kind), mask)
+            self._count("inst.alu", mask)
+        elif isinstance(instr, LdParam):
+            value = self.step.args[instr.name]
+            self._write(instr.dst, np.full(self.shape, value), mask)
+            self._count("inst.alu", mask)
+        elif isinstance(instr, LdGlobal):
+            self._ld_global(instr, mask)
+        elif isinstance(instr, StGlobal):
+            self._st_global(instr, mask)
+        elif isinstance(instr, LdShared):
+            self._ld_shared(instr, mask)
+        elif isinstance(instr, StShared):
+            self._st_shared(instr, mask)
+        elif isinstance(instr, AtomGlobal):
+            self._atom_global(instr, mask)
+        elif isinstance(instr, AtomShared):
+            self._atom_shared(instr, mask)
+        elif isinstance(instr, Shfl):
+            self._shfl(instr, mask)
+        elif isinstance(instr, Bar):
+            # One barrier per block that actually reaches it.
+            self.events["inst.bar"] += int(mask.any(axis=1).sum())
+        elif isinstance(instr, If):
+            self._exec_if(instr, mask)
+        elif isinstance(instr, While):
+            self._exec_while(instr, mask)
+        else:
+            raise SimulationError(f"cannot execute {type(instr).__name__}")
+
+    def _special(self, kind):
+        tid = np.broadcast_to(
+            np.arange(self.nthreads, dtype=np.int64), self.shape
+        )
+        if kind == "tid":
+            return tid
+        if kind == "ctaid":
+            return np.broadcast_to(self.block_ids[:, None], self.shape)
+        if kind == "ntid":
+            return np.full(self.shape, self.nthreads, dtype=np.int64)
+        if kind == "nctaid":
+            return np.full(self.shape, self.step.grid, dtype=np.int64)
+        if kind == "laneid":
+            return tid % WARP
+        if kind == "warpid":
+            return tid // WARP
+        raise SimulationError(f"unknown special register {kind!r}")
+
+    def _exec_if(self, instr, mask) -> None:
+        cond = np.asarray(self._read(instr.cond, mask), dtype=bool)
+        if cond.shape != self.shape:
+            cond = np.broadcast_to(cond, self.shape)
+        then_mask = mask & cond
+        else_mask = mask & ~cond
+        # A warp diverges when its active lanes take both paths.
+        then_any = np.bitwise_or.reduceat(then_mask, self._warp_starts, axis=1)
+        else_any = np.bitwise_or.reduceat(else_mask, self._warp_starts, axis=1)
+        divergent = int(np.count_nonzero(then_any & else_any))
+        if divergent:
+            self.events["branch.divergent"] += divergent
+        if then_mask.any():
+            self._exec_body(instr.then, then_mask)
+        if instr.otherwise and else_mask.any():
+            self._exec_body(instr.otherwise, else_mask)
+
+    def _exec_while(self, instr, mask) -> None:
+        active = mask.copy()
+        iterations = 0
+        while True:
+            self._exec_body(instr.cond_block, active)
+            cond = np.asarray(self._read(instr.cond, active), dtype=bool)
+            if cond.shape != self.shape:
+                cond = np.broadcast_to(cond, self.shape)
+            active &= cond
+            if not active.any():
+                return
+            iterations += 1
+            if iterations > self.executor.loop_cap:
+                raise SimulationError(
+                    f"kernel {self.kernel.name!r}: loop exceeded iteration cap "
+                    f"({self.executor.loop_cap})"
+                )
+            self._exec_body(instr.body, active)
+
+    # -- memory -------------------------------------------------------------
+
+    def _global_indices(self, operand, mask, buf) -> np.ndarray:
+        idx = np.asarray(self._read(operand, mask))
+        if idx.shape != self.shape:
+            idx = np.broadcast_to(idx, self.shape)
+        active_idx = idx[mask]
+        arr = self.device.get(buf)
+        if active_idx.size and (
+            active_idx.min() < 0 or active_idx.max() >= len(arr)
+        ):
+            raise SimulationError(
+                f"kernel {self.kernel.name!r}: out-of-bounds access to global "
+                f"buffer {buf!r} (size {len(arr)}, index range "
+                f"[{active_idx.min()}, {active_idx.max()}])"
+            )
+        return idx.astype(np.int64)
+
+    def _count_transactions(self, idx, mask, buf, kind, width: int = 1) -> None:
+        """Count unique 128-byte segments per (block, warp) group."""
+        arr = self.device.get(buf)
+        per_segment = max(1, 128 // arr.dtype.itemsize)
+        segment_space = len(arr) // per_segment + width + 1
+        gid = self._gid[mask]
+        base = idx[mask]
+        if width == 1:
+            keys = gid * segment_space + base // per_segment
+        else:
+            keys = np.concatenate(
+                [gid * segment_space + (base + k) // per_segment
+                 for k in range(width)]
+            )
+        total = int(np.unique(keys).size)
+        self.events[f"mem.global.{kind}.trans"] += total
+        self.events["mem.global.bytes"] += total * 128
+        self.events["mem.global.bytes_useful"] += (
+            int(mask.sum()) * width * arr.dtype.itemsize
+        )
+
+    def _ld_global(self, instr, mask) -> None:
+        idx = self._global_indices(instr.idx, mask, instr.buf)
+        arr = self.device.get(instr.buf)
+        if instr.width == 1:
+            value = np.zeros(self.shape, dtype=np.float64)
+            value[mask] = arr[idx[mask]]
+            self._write(instr.dst, value, mask)
+            self._count_transactions(idx, mask, instr.buf, "ld")
+        else:
+            last = idx + (instr.width - 1)
+            if (last[mask] >= len(arr)).any():
+                raise SimulationError(
+                    f"kernel {self.kernel.name!r}: vector load past end of "
+                    f"{instr.buf!r}"
+                )
+            for k, dst in enumerate(instr.dst):
+                value = np.zeros(self.shape, dtype=np.float64)
+                value[mask] = arr[idx[mask] + k]
+                self._write(dst, value, mask)
+            self._count_transactions(idx, mask, instr.buf, "ld", width=instr.width)
+        self._count("inst.ld.global", mask)
+
+    def _st_global(self, instr, mask) -> None:
+        idx = self._global_indices(instr.idx, mask, instr.buf)
+        src = self._value_array(instr.src, mask)
+        arr = self.device.get(instr.buf)
+        self._maybe_check_race(
+            self._brow[mask], idx[mask], src[mask], len(arr),
+            f"global buffer {instr.buf!r}",
+        )
+        # C-order flattening applies the store block-major, matching the
+        # sequential engine's per-block store order exactly.
+        arr[idx[mask]] = src[mask].astype(arr.dtype)
+        self._count_transactions(idx, mask, instr.buf, "st")
+        self._count("inst.st.global", mask)
+
+    def _shared_indices(self, operand, mask, buf) -> np.ndarray:
+        idx = np.asarray(self._read(operand, mask))
+        if idx.shape != self.shape:
+            idx = np.broadcast_to(idx, self.shape)
+        arr = self.shared[buf]
+        active_idx = idx[mask]
+        if active_idx.size and (
+            active_idx.min() < 0 or active_idx.max() >= arr.shape[1]
+        ):
+            raise SimulationError(
+                f"kernel {self.kernel.name!r}: out-of-bounds access to shared "
+                f"buffer {buf!r} (size {arr.shape[1]}, index range "
+                f"[{active_idx.min()}, {active_idx.max()}])"
+            )
+        return idx.astype(np.int64)
+
+    def _count_bank_replays(self, idx, mask) -> None:
+        """Shared memory has 32 banks; distinct words in one bank replay."""
+        if not mask.any():
+            return
+        gid = self._gid[mask]
+        addr = idx[mask]
+        span = int(addr.max()) + 1
+        # Unique (group, address) pairs, then per-group per-bank counts.
+        unique_keys = np.unique(gid * span + addr)
+        ugroup = unique_keys // span
+        ubank = (unique_keys % span) % 32
+        ngroups = int(ugroup[-1]) + 1
+        counts = np.bincount(
+            ugroup * 32 + ubank, minlength=ngroups * 32
+        ).reshape(ngroups, 32)
+        present = counts.any(axis=1)
+        total = int(counts.max(axis=1)[present].sum()) - int(present.sum())
+        if total:
+            self.events["mem.shared.replays"] += total
+
+    def _ld_shared(self, instr, mask) -> None:
+        idx = self._shared_indices(instr.idx, mask, instr.buf)
+        arr = self.shared[instr.buf]
+        value = np.zeros(self.shape, dtype=np.float64)
+        value[mask] = arr[self._brow[mask], idx[mask]]
+        self._write(instr.dst, value, mask)
+        self._count("inst.ld.shared", mask)
+        self._count_bank_replays(idx, mask)
+
+    def _st_shared(self, instr, mask) -> None:
+        idx = self._shared_indices(instr.idx, mask, instr.buf)
+        src = self._value_array(instr.src, mask)
+        arr = self.shared[instr.buf]
+        self._maybe_check_race(
+            self._brow[mask], idx[mask], src[mask], arr.shape[1],
+            f"shared buffer {instr.buf!r}",
+        )
+        arr[self._brow[mask], idx[mask]] = src[mask]
+        self._count("inst.st.shared", mask)
+        self._count_bank_replays(idx, mask)
+
+    def _value_array(self, operand, mask) -> np.ndarray:
+        value = np.asarray(self._read(operand, mask))
+        if value.ndim == 0:
+            value = np.broadcast_to(value, self.shape).astype(np.float64)
+        return value
+
+    def _maybe_check_race(self, brow, idx, values, span, what) -> None:
+        """Same-cycle conflicting stores *within one block* are races."""
+        if not self.executor.check_races or idx.size < 2:
+            return
+        key = brow * span + idx
+        order = np.argsort(key, kind="stable")
+        sorted_key = key[order]
+        sorted_vals = np.asarray(values)[order]
+        dup = sorted_key[1:] == sorted_key[:-1]
+        conflicting = dup & (sorted_vals[1:] != sorted_vals[:-1])
+        if conflicting.any():
+            raise SimulationError(
+                f"kernel {self.kernel.name!r}: write-write race on {what} "
+                f"(same-cycle conflicting stores to index "
+                f"{int(sorted_key[1:][conflicting][0] % span)})"
+            )
+
+    # -- atomics -----------------------------------------------------------
+
+    def _group_max_sum(self, group_keys, span) -> int:
+        """Sum over groups of the max same-address count in each group.
+
+        ``group_keys`` are ``group * span + address`` for every active
+        lane; groups with no active lanes contribute nothing.
+        """
+        unique_keys, counts = np.unique(group_keys, return_counts=True)
+        group = unique_keys // span
+        starts = np.r_[0, np.flatnonzero(np.diff(group)) + 1]
+        return int(np.maximum.reduceat(counts, starts).sum())
+
+    def _atom_shared(self, instr, mask) -> None:
+        idx = self._shared_indices(instr.idx, mask, instr.buf)
+        src = self._value_array(instr.src, mask)
+        arr = self.shared[instr.buf]
+        rows = self._brow[mask]
+        cols = idx[mask]
+        _ATOMIC_UFUNC[instr.op].at(arr, (rows, cols), src[mask])
+        ops = int(mask.sum())
+        self.events["atom.shared.ops"] += ops
+        span = arr.shape[1]
+        # Per-warp serialization: ops to the same address inside one warp
+        # execute one at a time.
+        self.events["atom.shared.warp_serial"] += self._group_max_sum(
+            self._gid[mask] * span + cols, span
+        )
+        # Block-level: total ops per address bound the block's critical path.
+        self.events["atom.shared.block_max_same_addr"] += self._group_max_sum(
+            rows * span + cols, span
+        )
+
+    def _atom_global(self, instr, mask) -> None:
+        idx = self._global_indices(instr.idx, mask, instr.buf)
+        src = self._value_array(instr.src, mask)
+        arr = self.device.get(instr.buf)
+        # ufunc.at applies updates in flattened (block-major) order — the
+        # same order the sequential engine's per-block calls produce, so
+        # float accumulation is bit-identical.
+        _ATOMIC_UFUNC[instr.op].at(arr, idx[mask], src[mask].astype(arr.dtype))
+        self.events["atom.global.ops"] += int(mask.sum())
+        counts = self.atomic_addr_counts
+        for row in range(self.nblocks):
+            if len(counts) > _ATOMIC_TRACK_CAP:
+                continue  # sequential engine stops adding past the cap
+            row_mask = mask[row]
+            if not row_mask.any():
+                continue
+            addresses, per_addr = np.unique(
+                idx[row][row_mask], return_counts=True
+            )
+            for address, count in zip(addresses.tolist(), per_addr.tolist()):
+                key = (instr.buf, int(address))
+                counts[key] = counts.get(key, 0) + count
+
+    # -- shuffles -----------------------------------------------------------
+
+    def _shfl(self, instr, mask) -> None:
+        src = np.asarray(self._read(instr.src, mask))
+        if src.shape != self.shape:
+            src = np.broadcast_to(src, self.shape)
+        lanes = np.arange(self.nthreads, dtype=np.int64)
+        sub = lanes % instr.width
+        base = lanes - sub
+        offset = np.asarray(self._read(instr.offset, mask))
+        if offset.shape != self.shape:
+            offset = np.broadcast_to(offset, self.shape)
+        if instr.mode == "down":
+            target = sub + offset
+        elif instr.mode == "up":
+            target = sub - offset
+        elif instr.mode == "xor":
+            target = np.bitwise_xor(sub, offset.astype(np.int64))
+        else:  # idx
+            target = offset.astype(np.int64)
+        if target.shape != self.shape:
+            target = np.broadcast_to(target, self.shape)
+        in_range = (target >= 0) & (target < instr.width)
+        source_lane = np.where(in_range, base + target, lanes)
+        source_lane = np.clip(source_lane, 0, self.nthreads - 1)
+        result = np.take_along_axis(src, source_lane.astype(np.int64), axis=1)
         self._write(instr.dst, result, mask)
         self._count("inst.shfl", mask)
 

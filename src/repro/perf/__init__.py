@@ -1,0 +1,31 @@
+"""Performance layer: unified profile cache + parallel sweep evaluation.
+
+See :mod:`repro.perf.cache` for the content-hash-keyed two-tier cache
+and :mod:`repro.perf.parallel` for the profiling pool. The batched
+simulator itself lives in :mod:`repro.gpusim.engine`; ``docs/PERFORMANCE.md``
+describes how the three pieces compose.
+"""
+
+from .cache import (
+    CACHE_DIR_ENV,
+    CacheStats,
+    DEFAULT_MAX_ENTRIES,
+    ProfileCache,
+    configure,
+    content_key,
+    default_cache,
+)
+from .parallel import MAX_WORKERS_ENV, map_profiles, resolve_workers
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CacheStats",
+    "DEFAULT_MAX_ENTRIES",
+    "MAX_WORKERS_ENV",
+    "ProfileCache",
+    "configure",
+    "content_key",
+    "default_cache",
+    "map_profiles",
+    "resolve_workers",
+]

@@ -1,0 +1,94 @@
+"""Parallel fan-out of profiling work over a ``concurrent.futures`` pool.
+
+Event profiles are architecture-independent and every (version × size ×
+tunables) point is independent of every other, so the sweep behind
+``best_version`` / ``tune_all`` / ``DynamicSelector.build`` is
+embarrassingly parallel. Workers each hold a lazily-built
+:class:`~repro.runtime.session.ReductionFramework` (keyed by
+``(op, ctype, unroll)``) and return plain ``(profile, num_memsets,
+cost_s)`` tuples; the parent merges results into the shared
+:mod:`repro.perf.cache` in submission order, so the cache contents are
+deterministic regardless of completion order.
+
+Process pools give real parallelism (the simulator is partly
+GIL-bound); when processes are unavailable — or on a single-CPU box —
+the sweep degrades gracefully to threads and then to serial execution,
+always producing identical results.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+#: Environment override for the worker count (0/1 forces serial).
+MAX_WORKERS_ENV = "REPRO_MAX_WORKERS"
+
+#: Upper bound on auto-selected workers.
+_WORKER_CAP = 8
+
+#: Below this many outstanding profiles a pool costs more than it saves.
+MIN_PARALLEL_SPECS = 4
+
+_worker_frameworks = {}
+
+
+def resolve_workers(max_workers=None) -> int:
+    """Effective worker count: explicit arg > env var > cpu count."""
+    if max_workers is None:
+        env = os.environ.get(MAX_WORKERS_ENV)
+        if env is not None:
+            try:
+                max_workers = int(env)
+            except ValueError:
+                max_workers = None
+    if max_workers is None:
+        max_workers = min(os.cpu_count() or 1, _WORKER_CAP)
+    return max(1, int(max_workers)) if max_workers > 0 else 1
+
+
+def _profile_spec(spec):
+    """Worker entry point: profile one (version, n, tunables) point.
+
+    ``spec`` is ``(op, ctype, unroll, version, n, tunables,
+    sample_limit)`` with a picklable frozen-dataclass version/tunables.
+    Returns ``(profile, num_memsets, cost_s)``.
+    """
+    op, ctype, unroll, version, n, tunables, sample_limit = spec
+    framework = _worker_frameworks.get((op, ctype, unroll))
+    if framework is None:
+        from ..runtime.session import ReductionFramework
+
+        framework = ReductionFramework(op=op, ctype=ctype, unroll=unroll)
+        _worker_frameworks[(op, ctype, unroll)] = framework
+    start = time.perf_counter()
+    profile, num_memsets = framework.profile(
+        version, n, tunables, sample_limit=sample_limit
+    )
+    return profile, num_memsets, time.perf_counter() - start
+
+
+def map_profiles(specs, max_workers=None):
+    """Profile every spec, in parallel when it pays off.
+
+    Returns results aligned with ``specs`` (deterministic order). Falls
+    back transparently: processes → threads → serial.
+    """
+    specs = list(specs)
+    workers = resolve_workers(max_workers)
+    if workers <= 1 or len(specs) < MIN_PARALLEL_SPECS:
+        return [_profile_spec(spec) for spec in specs]
+    workers = min(workers, len(specs))
+    for pool_cls in _pool_classes():
+        try:
+            with pool_cls(max_workers=workers) as pool:
+                return list(pool.map(_profile_spec, specs))
+        except Exception:
+            continue
+    return [_profile_spec(spec) for spec in specs]
+
+
+def _pool_classes():
+    from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+    return (ProcessPoolExecutor, ThreadPoolExecutor)

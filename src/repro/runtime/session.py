@@ -12,11 +12,16 @@
 Timing runs execute a *sampled* subset of blocks on the functional
 simulator to collect events, then feed the analytic per-architecture
 model. Events are architecture-independent, so one profile serves all
-three GPUs; profiles are cached per (version, n, tunables).
+three GPUs; profiles live in the unified content-hash-keyed cache of
+:mod:`repro.perf` (shared across framework instances, with an optional
+on-disk tier), and sweeps over many (version × size × tunables) points
+fan out over the :mod:`repro.perf.parallel` pool.
 """
 
 from __future__ import annotations
 
+import hashlib
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -41,6 +46,7 @@ from ..gpusim import (
     get_architecture,
     plan_time,
 )
+from ..perf import ProfileCache, content_key, default_cache, map_profiles
 from ..vir import MemsetStep
 
 #: Default number of blocks executed when profiling large launches.
@@ -61,7 +67,13 @@ class ReduceResult:
 class ReductionFramework:
     """DSL → AST passes → version synthesis → simulation/timing."""
 
-    def __init__(self, op: str = "add", ctype: str = "float", unroll: bool = False):
+    def __init__(
+        self,
+        op: str = "add",
+        ctype: str = "float",
+        unroll: bool = False,
+        cache: ProfileCache = None,
+    ):
         self.op = op
         self.ctype = ctype
         self.unroll = unroll
@@ -70,7 +82,12 @@ class ReductionFramework:
         self.all_versions = enumerate_versions()
         self.versions = prune_versions(self.all_versions)
         self.catalog = dict(FIG6)
-        self._profile_cache = {}
+        self.cache = cache if cache is not None else default_cache()
+        # The pass log fingerprints the preprocessing configuration, so
+        # cached profiles invalidate when any pass changes behaviour.
+        self._pipeline_sig = hashlib.sha256(
+            "\n".join(self.pre.log).encode("utf-8")
+        ).hexdigest()[:16]
 
     # -- version resolution ------------------------------------------------
 
@@ -100,15 +117,24 @@ class ReductionFramework:
         return np.int32 if self.ctype == "int" else np.float32
 
     def run(
-        self, data: np.ndarray, version="p", tunables: Tunables = None
+        self,
+        data: np.ndarray,
+        version="p",
+        tunables: Tunables = None,
+        engine_mode: str = "auto",
     ) -> ReduceResult:
-        """Reduce ``data`` with one synthesized version, fully executed."""
+        """Reduce ``data`` with one synthesized version, fully executed.
+
+        ``engine_mode`` selects the simulator's execution strategy
+        (``auto`` | ``batched`` | ``sequential``); both strategies are
+        bit-identical on reduction kernels, ``batched`` is much faster.
+        """
         data = np.ascontiguousarray(data, dtype=self.dtype)
         if data.ndim != 1 or data.size == 0:
             raise ValueError("run() needs a non-empty 1-D array")
         resolved = self.resolve(version)
         plan = build_plan(self.pre, resolved, data.size, tunables)
-        executor = Executor()
+        executor = Executor(mode=engine_mode)
         executor.device.upload("in", data)
         profile = executor.run_plan(plan)
         return ReduceResult(
@@ -121,22 +147,94 @@ class ReductionFramework:
 
     # -- timing ---------------------------------------------------------------
 
+    def profile_key(
+        self, version, n: int, tunables: Tunables = None, sample_limit: int = None
+    ) -> str:
+        """Unified-cache key for one profiling point (content hash)."""
+        resolved = self.resolve(version)
+        t = tunables or Tunables()
+        return content_key(
+            kind="profile",
+            op=self.op,
+            ctype=self.ctype,
+            dtype=str(np.dtype(self.dtype)),
+            version=resolved.identifier,
+            n=int(n),
+            block=t.block,
+            grid=t.grid,
+            unroll=self.unroll,
+            passes=self._pipeline_sig,
+            sample=sample_limit,
+        )
+
     def profile(
         self, version, n: int, tunables: Tunables = None, sample_limit: int = None
     ):
         """Sampled event profile of one version at size n (cached)."""
         resolved = self.resolve(version)
-        key = (resolved, n, tunables)
-        if key in self._profile_cache:
-            return self._profile_cache[key]
+        key = self.profile_key(resolved, n, tunables, sample_limit)
+        entry = self.cache.get(key)
+        if entry is not None:
+            return entry
+        start = time.perf_counter()
         plan = build_plan(self.pre, resolved, n, tunables)
         profile = _profile_plan(plan, n, sample_limit)
         num_memsets = sum(
             1 for step in plan.steps if isinstance(step, MemsetStep)
         )
         entry = (profile, num_memsets)
-        self._profile_cache[key] = entry
+        self.cache.put(key, entry, cost_s=time.perf_counter() - start)
         return entry
+
+    def profile_many(
+        self,
+        specs,
+        sample_limit: int = None,
+        max_workers: int = None,
+    ):
+        """Profile many ``(version, n, tunables)`` points, fanning the
+        missing ones out over the :mod:`repro.perf.parallel` pool.
+
+        Results merge into the shared cache in spec order (deterministic
+        regardless of worker completion order) and are returned aligned
+        with ``specs``.
+        """
+        resolved = [
+            (self.resolve(version), int(n), tunables)
+            for version, n, tunables in specs
+        ]
+        keys = [
+            self.profile_key(version, n, tunables, sample_limit)
+            for version, n, tunables in resolved
+        ]
+        missing = [
+            index
+            for index, key in enumerate(keys)
+            if key not in self.cache
+        ]
+        if len(missing) > 1:
+            worker_specs = [
+                (
+                    self.op,
+                    self.ctype,
+                    self.unroll,
+                    resolved[index][0],
+                    resolved[index][1],
+                    resolved[index][2],
+                    sample_limit,
+                )
+                for index in missing
+            ]
+            results = map_profiles(worker_specs, max_workers=max_workers)
+            for index, (profile, num_memsets, cost_s) in zip(missing, results):
+                if keys[index] not in self.cache:
+                    self.cache.put(
+                        keys[index], (profile, num_memsets), cost_s=cost_s
+                    )
+        return [
+            self.profile(version, n, tunables, sample_limit)
+            for version, n, tunables in resolved
+        ]
 
     def time(
         self,
@@ -157,15 +255,22 @@ class ReductionFramework:
         arch,
         candidates=None,
         tunables: Tunables = None,
+        max_workers: int = None,
     ):
         """Fastest version at size n on an architecture.
 
         ``candidates`` defaults to the Figure 6 catalog (the versions the
         paper plots); pass ``self.versions`` for the full pruned space.
+        Missing profiles are computed in parallel; the timing model then
+        reads them back from the shared cache.
         """
         arch = _resolve_arch(arch)
         if candidates is None:
             candidates = list(self.catalog)
+        self.profile_many(
+            [(candidate, n, tunables) for candidate in candidates],
+            max_workers=max_workers,
+        )
         best_key, best_time = None, float("inf")
         for candidate in candidates:
             seconds = self.time(n, candidate, arch, tunables)
@@ -178,12 +283,14 @@ class ReductionFramework:
 # Baseline timing helpers (shared by benches and examples)
 # ---------------------------------------------------------------------
 
-_baseline_cache = {}
-
 
 def _profile_plan(plan, n: int, sample_limit: int = None) -> PlanProfile:
+    # The input buffer's dtype must match the plan's element type — an
+    # int-element framework profiles against an int32 device array (the
+    # transaction/coalescing counters depend on the element width).
+    dtype = np.dtype(plan.meta.get("dtype", "float32"))
     device = Device()
-    device.alloc("in", n, dtype=np.float32)
+    device.alloc("in", n, dtype=dtype)
     executor = Executor(device=device)
     if sample_limit is None:
         max_grid = max(step.grid for step in plan.kernel_steps())
@@ -191,14 +298,23 @@ def _profile_plan(plan, n: int, sample_limit: int = None) -> PlanProfile:
     return executor.run_plan(plan, sample_limit=sample_limit)
 
 
+def _baseline_profile(kind: str, n: int, op: str, build) -> PlanProfile:
+    """Profile a baseline plan through the unified (bounded) cache."""
+    cache = default_cache()
+    key = content_key(
+        kind=kind, op=op, n=int(n), dtype="float32", ctype="float"
+    )
+
+    def compute():
+        return _profile_plan(build(n, op), n)
+
+    return cache.get_or_compute(key, compute)
+
+
 def cub_time(n: int, arch, op: str = "add") -> float:
     """Modelled wall time of the CUB-like baseline."""
     arch = _resolve_arch(arch)
-    key = ("cub", n, op)
-    if key not in _baseline_cache:
-        plan = build_cub_plan(n, op)
-        _baseline_cache[key] = _profile_plan(plan, n)
-    profile = _baseline_cache[key]
+    profile = _baseline_profile("cub", n, op, build_cub_plan)
     return plan_time(
         profile, arch, extra_host_overhead_s=CUB_HOST_OVERHEAD_S
     )
@@ -207,11 +323,7 @@ def cub_time(n: int, arch, op: str = "add") -> float:
 def kokkos_time(n: int, arch, op: str = "add") -> float:
     """Modelled wall time of the Kokkos-like baseline."""
     arch = _resolve_arch(arch)
-    key = ("kokkos", n, op)
-    if key not in _baseline_cache:
-        plan = build_kokkos_plan(n, op)
-        _baseline_cache[key] = _profile_plan(plan, n)
-    profile = _baseline_cache[key]
+    profile = _baseline_profile("kokkos", n, op, build_kokkos_plan)
     return plan_time(profile, arch)
 
 

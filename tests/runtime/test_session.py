@@ -62,9 +62,9 @@ class TestTiming:
 
     def test_profiles_shared_across_architectures(self, fw_add):
         fw_add.time(4096, "m", "kepler")
-        cached = len(fw_add._profile_cache)
+        stores = fw_add.cache.stats.stores
         fw_add.time(4096, "m", "pascal")
-        assert len(fw_add._profile_cache) == cached  # no new profiling
+        assert fw_add.cache.stats.stores == stores  # no new profiling
 
     def test_launch_overhead_floor(self, fw_add):
         from repro import get_architecture
