@@ -1,15 +1,24 @@
 """Search-infrastructure performance snapshot (not a paper figure).
 
-Measures the three mechanisms of docs/PERFORMANCE.md on this machine:
+Measures the mechanisms of docs/PERFORMANCE.md on this machine:
 
 1. batched vs sequential block execution of one large unsampled
-   profiling launch (n = 1M, grid 64 — the ISSUE acceptance case);
-2. cold vs warm ``best_version`` sweeps through the unified profile
+   profiling launch (n = 1M, grid 64 — the ISSUE acceptance case),
+   using the tree-walking interpreter backend for continuity with the
+   original measurement;
+2. the closure-compiled executor on the same launch: warm (plan built
+   and kernels compiled beforehand, the steady-state of any sweep) and
+   cold (frontend plan build + closure compilation, the one-time cost
+   the plan cache amortizes away);
+3. cold vs warm ``best_version`` sweeps through the unified profile
    cache across several paper sizes.
 
 Results go to ``BENCH_searchspace.json`` at the repository root so the
-speedups are tracked alongside the code. Both headline ratios are
-asserted: warm sweep >= 5x cold, batched profiling >= 2x sequential.
+speedups are tracked alongside the code. Headline ratios asserted:
+batched >= 2x sequential, compiled >= 2x the batched interpreter, and
+the warm sweep still beats cold (the compiled executor made cold
+points so cheap — ~0.1 ms each — that the old 5x cache ratio is now
+bounded by the timing-model floor, not by simulation).
 """
 
 import json
@@ -20,7 +29,8 @@ import numpy as np
 
 from conftest import once, write_table
 from repro import ReductionFramework, Tunables
-from repro.gpusim import Executor
+from repro.codegen import build_plan
+from repro.gpusim import Executor, compile_kernel
 from repro.perf import ProfileCache
 
 SNAPSHOT_PATH = Path(__file__).parent.parent / "BENCH_searchspace.json"
@@ -34,28 +44,53 @@ LARGE_N = 1 << 20
 LARGE_TUNABLES = Tunables(block=256, grid=64)
 
 
-def _profile_large(mode: str) -> float:
-    """Seconds to profile version (b) at LARGE_N, fully executed."""
+def _profile_large(mode: str, backend: str) -> float:
+    """Seconds to profile version (b) at LARGE_N, fully executed.
+
+    ``fw.build`` goes through the plan cache, which pre-compiles every
+    kernel — so the compiled backend is measured *warm*, with no
+    compilation inside the timed region (its cold cost is measured
+    separately by :func:`_compile_cold`).
+    """
     fw = ReductionFramework(op="add", cache=ProfileCache())
     plan = fw.build("b", LARGE_N, LARGE_TUNABLES)
-    executor = Executor(mode=mode)
+    executor = Executor(mode=mode, backend=backend)
     executor.device.alloc("in", LARGE_N, dtype=np.float32)
     start = time.perf_counter()
     executor.run_plan(plan)  # grid 64 <= sampling threshold: unsampled
     return time.perf_counter() - start
 
 
+def _compile_cold() -> float:
+    """Seconds for an uncached plan build + closure compilation (the
+    one-time cost a plan-cache miss pays before the first run)."""
+    fw = ReductionFramework(op="add", cache=ProfileCache())
+    version = fw.resolve("b")
+    start = time.perf_counter()
+    plan = build_plan(fw.pre, version, LARGE_N, LARGE_TUNABLES)
+    for step in plan.kernel_steps():
+        compile_kernel(step.kernel)
+    return time.perf_counter() - start
+
+
 def _sweep(fw) -> float:
-    """Seconds for a best_version sweep over the Figure 6 catalog."""
+    """Seconds for a best_version sweep over the Figure 6 catalog.
+
+    Serial (max_workers=1) so the cold/warm ratio isolates the profile
+    cache rather than worker-pool spawn variance — the compiled executor
+    made each cold point cheap enough that pool startup would dominate.
+    """
     start = time.perf_counter()
     for n in SWEEP_SIZES:
-        fw.best_version(n, "kepler")
+        fw.best_version(n, "kepler", max_workers=1)
     return time.perf_counter() - start
 
 
 def measure():
-    sequential_s = _profile_large("sequential")
-    batched_s = _profile_large("batched")
+    sequential_s = _profile_large("sequential", "interpreted")
+    batched_s = _profile_large("batched", "interpreted")
+    compiled_s = _profile_large("batched", "compiled")
+    compile_cold_s = _compile_cold()
 
     fw = ReductionFramework(op="add", cache=ProfileCache())
     cold_s = _sweep(fw)
@@ -75,6 +110,14 @@ def measure():
             "batched_s": round(batched_s, 4),
             "speedup": round(sequential_s / batched_s, 2),
         },
+        "compiled_executor": {
+            "version": "b",
+            "n": LARGE_N,
+            "interpreted_s": round(batched_s, 4),
+            "compiled_warm_s": round(compiled_s, 4),
+            "compile_cold_s": round(compile_cold_s, 4),
+            "speedup_vs_interpreted": round(batched_s / compiled_s, 2),
+        },
         "best_version_sweep": {
             "cold_s": round(cold_s, 4),
             "warm_s": round(warm_s, 4),
@@ -88,6 +131,7 @@ def test_simperf_snapshot(benchmark):
     data = once(benchmark, measure)
     SNAPSHOT_PATH.write_text(json.dumps(data, indent=2) + "\n")
     large = data["profile_large"]
+    compiled = data["compiled_executor"]
     sweep = data["best_version_sweep"]
     write_table(
         "simperf",
@@ -97,6 +141,11 @@ def test_simperf_snapshot(benchmark):
             f"    sequential {large['sequential_s']:.3f}s   "
             f"batched {large['batched_s']:.3f}s   "
             f"({large['speedup']:.1f}x)",
+            f"  compiled executor on the same launch:",
+            f"    interpreted {compiled['interpreted_s']:.3f}s   "
+            f"compiled {compiled['compiled_warm_s']:.3f}s   "
+            f"({compiled['speedup_vs_interpreted']:.1f}x; "
+            f"one-time compile {compiled['compile_cold_s']:.3f}s)",
             f"  best_version sweep over {data['versions_swept']} versions"
             f" x {len(data['sweep_sizes'])} sizes:",
             f"    cold {sweep['cold_s']:.3f}s   warm {sweep['warm_s']:.3f}s"
@@ -105,4 +154,13 @@ def test_simperf_snapshot(benchmark):
         ],
     )
     assert large["speedup"] >= 2.0, "batched profiling must beat sequential 2x"
-    assert sweep["speedup"] >= 5.0, "warm-cache sweep must beat cold 5x"
+    assert (
+        compiled["speedup_vs_interpreted"] >= 2.0
+    ), "compiled dispatch must beat the interpreter 2x"
+    # Cold profiling collapsed from ~0.5s to ~10ms with the compiled
+    # executor + plan cache, so warm/cold is no longer simulation-bound;
+    # assert the cache still pays (warm faster, saved > spent) instead
+    # of the old 5x ratio.
+    assert sweep["speedup"] >= 1.2, "warm-cache sweep must still beat cold"
+    cache = sweep["cache"]
+    assert cache["time_saved_s"] >= cache["compute_time_s"]

@@ -30,10 +30,25 @@ def _add_common(parser):
     )
 
 
+def _engine_spec(value: str) -> str:
+    """argparse type for ``--engine``: validate, keep the raw spec."""
+    from .gpusim import parse_engine_spec
+
+    try:
+        parse_engine_spec(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    return value
+
+
 def _framework(args):
     from .runtime import ReductionFramework
 
-    return ReductionFramework(op=args.op, unroll=getattr(args, "unroll", False))
+    return ReductionFramework(
+        op=args.op,
+        unroll=getattr(args, "unroll", False),
+        engine=getattr(args, "engine", None) or "auto",
+    )
 
 
 def cmd_passes(args) -> int:
@@ -65,7 +80,7 @@ def cmd_cuda(args) -> int:
 
 
 def _print_cache_stats() -> None:
-    from .perf import default_cache
+    from .perf import default_cache, default_plan_cache
 
     stats = default_cache().stats
     print(
@@ -73,6 +88,13 @@ def _print_cache_stats() -> None:
         f"misses={stats.misses} stores={stats.stores} "
         f"simulation saved={stats.time_saved_s:.2f}s "
         f"spent={stats.compute_time_s:.2f}s"
+    )
+    plan_stats = default_plan_cache().stats
+    print(
+        f"[plan cache] hits={plan_stats.hits} "
+        f"misses={plan_stats.misses} stores={plan_stats.stores} "
+        f"build saved={plan_stats.time_saved_s:.2f}s "
+        f"spent={plan_stats.compute_time_s:.2f}s"
     )
 
 
@@ -144,11 +166,12 @@ def cmd_tune(args) -> int:
 
 
 def cmd_cache(args) -> int:
-    from .perf import default_cache
+    from .perf import default_cache, default_plan_cache
 
     cache = default_cache()
     if args.clear:
         cache.clear(memory=True, disk=True)
+        default_plan_cache().clear(memory=True)
         print("cache cleared (memory + disk)")
         return 0
     info = cache.disk_info()
@@ -161,6 +184,13 @@ def cmd_cache(args) -> int:
     print(f"memory tier: {len(cache)}/{cache.max_entries} entries")
     stats = cache.stats.as_dict()
     print("this process: " + ", ".join(f"{k}={v}" for k, v in stats.items()))
+    plans = default_plan_cache()
+    print(f"plan cache (memory only): {len(plans)}/{plans.max_entries} entries")
+    plan_stats = plans.stats.as_dict()
+    print(
+        "this process: "
+        + ", ".join(f"{k}={v}" for k, v in plan_stats.items())
+    )
     return 0
 
 
@@ -195,9 +225,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--block", type=int, default=None)
     p.add_argument("--grid", type=int, default=None)
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--engine", default="auto",
-                   choices=("auto", "batched", "sequential"),
-                   help="simulator execution mode (default: auto)")
+    p.add_argument("--engine", default="auto", type=_engine_spec,
+                   help="simulator engine spec: an execution mode (auto | "
+                        "batched | sequential), a dispatch backend (compiled "
+                        "| interpreted), or mode-backend (default: auto, "
+                        "i.e. compiled dispatch)")
     p.set_defaults(func=cmd_reduce)
 
     p = sub.add_parser("time", help="modelled times across architectures")
@@ -205,6 +237,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("n", type=int)
     p.add_argument("--versions", default=None,
                    help="comma-separated labels (default: m,n,p,b)")
+    p.add_argument("--engine", default="auto", type=_engine_spec,
+                   help="simulator engine spec used for profiling (see "
+                        "'reduce --engine')")
     p.add_argument("--cache-stats", action="store_true",
                    help="print profile-cache statistics afterwards")
     p.set_defaults(func=cmd_time)

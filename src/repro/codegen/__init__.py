@@ -2,7 +2,13 @@
 
 from .compiler import CodeletToVIR, GlobalView, RegisterPartials
 from .cuda import CudaEmitter, emit_compound_pair, emit_coop_kernel, emit_version
-from .synthesize import Tunables, build_plan, launch_geometry
+from .synthesize import (
+    Tunables,
+    build_plan,
+    build_plan_cached,
+    launch_geometry,
+    plan_key,
+)
 
 __all__ = [
     "CodeletToVIR",
@@ -11,8 +17,10 @@ __all__ = [
     "RegisterPartials",
     "Tunables",
     "build_plan",
+    "build_plan_cached",
     "emit_compound_pair",
     "emit_coop_kernel",
     "emit_version",
     "launch_geometry",
+    "plan_key",
 ]

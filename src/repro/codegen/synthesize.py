@@ -17,12 +17,15 @@ compiled generically by :mod:`repro.codegen.compiler`.
 
 from __future__ import annotations
 
+import hashlib
+import time
 from dataclasses import dataclass
 
 from ..core.pipeline import PreprocessResult
 from ..core.sources import identity_value
 from ..core.variants import Version, fig6_label
 from ..lang.errors import SynthesisError
+from ..perf import content_key
 from ..vir import IRBuilder, Imm, Kernel, KernelStep, MemsetStep, Plan
 from .compiler import CodeletToVIR, GlobalView, RegisterPartials
 
@@ -133,6 +136,75 @@ def build_plan(
         },
     )
     plan.validate()
+    return plan
+
+
+# ---------------------------------------------------------------------
+# plan cache
+# ---------------------------------------------------------------------
+
+
+def _pipeline_fingerprint(pre) -> str:
+    """sha256 prefix of the preprocessing pass log, memoized on ``pre``.
+
+    The log records every pass that ran (including the unroll flag), so
+    any change to the frontend configuration changes the fingerprint and
+    with it every plan-cache key derived from this result.
+    """
+    sig = getattr(pre, "_pipeline_fingerprint", None)
+    if sig is None:
+        sig = hashlib.sha256("\n".join(pre.log).encode("utf-8")).hexdigest()[:16]
+        pre._pipeline_fingerprint = sig
+    return sig
+
+
+def plan_key(
+    pre: PreprocessResult, version: Version, n: int, tunables: Tunables = None
+) -> str:
+    """Content-hash key identifying one built plan (see ``repro.perf``)."""
+    t = tunables or Tunables()
+    return content_key(
+        kind="plan",
+        op=pre.reduction_op,
+        ctype=_element_ctype(pre),
+        version=version.identifier,
+        n=int(n),
+        block=t.block,
+        grid=t.grid,
+        passes=_pipeline_fingerprint(pre),
+    )
+
+
+def build_plan_cached(
+    pre: PreprocessResult,
+    version: Version,
+    n: int,
+    tunables: Tunables = None,
+) -> Plan:
+    """:func:`build_plan` through the process-wide plan cache.
+
+    On a miss the plan is built and *pre-warmed*: each kernel step's
+    compiled closure trace and batchability summary are computed before
+    the plan is published, so every later executor — any framework
+    instance, any sweep worker thread — starts hot. Keys are content
+    hashes (:func:`plan_key`), so two frameworks with the same frontend
+    configuration share one built plan.
+    """
+    # Imported lazily: codegen must stay importable without dragging in
+    # the simulator (and gpusim must never import codegen at top level).
+    from ..gpusim import analyze_batchability, compile_kernel
+    from ..perf import default_plan_cache
+
+    cache = default_plan_cache()
+    key = plan_key(pre, version, n, tunables)
+    plan = cache.get(key)
+    if plan is None:
+        start = time.perf_counter()
+        plan = build_plan(pre, version, n, tunables)
+        for step in plan.kernel_steps():
+            compile_kernel(step.kernel)
+            analyze_batchability(step.kernel)
+        cache.put(key, plan, cost_s=time.perf_counter() - start)
     return plan
 
 

@@ -3,12 +3,15 @@
 from .arch import ARCHITECTURES, Architecture, KEPLER, MAXWELL, PASCAL, get_architecture
 from .device import Device, DeviceError
 from .engine import (
+    EXECUTION_BACKENDS,
     EXECUTION_MODES,
     Executor,
     SimulationError,
     analyze_batchability,
+    parse_engine_spec,
     run_plan,
 )
+from .compile import CompiledKernel, compile_kernel
 from .events import EVENT_KEYS, PlanProfile, StepProfile
 from .timing import (
     MEMSET_OVERHEAD_S,
@@ -24,9 +27,13 @@ __all__ = [
     "Device",
     "DeviceError",
     "EVENT_KEYS",
+    "EXECUTION_BACKENDS",
     "EXECUTION_MODES",
+    "CompiledKernel",
     "Executor",
     "analyze_batchability",
+    "compile_kernel",
+    "parse_engine_spec",
     "KEPLER",
     "MAXWELL",
     "MEMSET_OVERHEAD_S",

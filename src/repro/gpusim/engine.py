@@ -45,6 +45,8 @@ profiles, not valid numerical results.
 
 from __future__ import annotations
 
+import weakref
+
 import numpy as np
 
 from ..vir.instructions import (
@@ -168,6 +170,49 @@ _ATOMIC_UFUNC = {
 #: Execution-mode names accepted by :class:`Executor`.
 EXECUTION_MODES = ("auto", "batched", "sequential")
 
+#: Executor backends: ``compiled`` runs kernels as pre-compiled closure
+#: traces (see :mod:`repro.gpusim.compile`), ``interpreted`` is the
+#: reference per-instruction dispatch path. Both are bit-identical.
+EXECUTION_BACKENDS = ("compiled", "interpreted")
+
+
+def parse_engine_spec(spec):
+    """Parse an engine spec string into ``(mode, backend)``.
+
+    Accepts a mode (``auto`` | ``batched`` | ``sequential``), a backend
+    (``compiled`` | ``interpreted``), or a hyphenated combination such
+    as ``sequential-interpreted``; omitted parts default to ``auto`` and
+    ``compiled``.
+    """
+    mode = backend = None
+    for part in str(spec).split("-"):
+        if part in EXECUTION_MODES and mode is None:
+            mode = part
+        elif part in EXECUTION_BACKENDS and backend is None:
+            backend = part
+        else:
+            raise ValueError(
+                f"unknown engine {spec!r}: expected a mode in "
+                f"{EXECUTION_MODES} and/or a backend in "
+                f"{EXECUTION_BACKENDS}, hyphen-separated"
+            )
+    return mode or "auto", backend or "compiled"
+
+
+def memoize_by_identity(memo: dict, obj, build):
+    """Memoize ``build(obj)`` keyed by ``id(obj)``, guarded by a weakref
+    so a recycled id can never return a stale value. The cached value
+    must not strongly reference ``obj``, or entries would never evict.
+    """
+    key = id(obj)
+    entry = memo.get(key)
+    if entry is not None and entry[0]() is obj:
+        return entry[1]
+    value = build(obj)
+    ref = weakref.ref(obj, lambda _ref, _key=key: memo.pop(_key, None))
+    memo[key] = (ref, value)
+    return value
+
 
 def _walk_while_depth(body, in_while=False):
     """Yield ``(instr, inside_a_While)`` for every instruction in a body."""
@@ -179,6 +224,45 @@ def _walk_while_depth(body, in_while=False):
         elif isinstance(instr, While):
             yield from _walk_while_depth(instr.cond_block, True)
             yield from _walk_while_depth(instr.body, True)
+
+
+#: id(kernel) -> (weakref, access summary); see memoize_by_identity.
+_ACCESS_MEMO = {}
+
+
+def _build_access_summary(kernel) -> dict:
+    """One full tree walk collecting the global-memory access facts the
+    batchability verdict needs. Walked once per kernel object — the
+    executor re-resolves the verdict on every launch, and re-walking the
+    tree each time dominated small-launch dispatch."""
+    loads = set()
+    stores = set()
+    store_in_while = None
+    atomics = {}
+    for instr, in_while in _walk_while_depth(kernel.body):
+        if isinstance(instr, LdGlobal):
+            loads.add(instr.buf)
+        elif isinstance(instr, StGlobal):
+            stores.add(instr.buf)
+            if in_while and store_in_while is None:
+                store_in_while = instr.buf
+        elif isinstance(instr, AtomGlobal):
+            entry = atomics.setdefault(
+                instr.buf, {"count": 0, "in_while": False, "ops": set()}
+            )
+            entry["count"] += 1
+            entry["in_while"] = entry["in_while"] or in_while
+            entry["ops"].add(instr.op)
+    return {
+        "loads": loads,
+        "stores": stores,
+        "store_in_while": store_in_while,
+        "atomics": atomics,
+    }
+
+
+def _kernel_access_summary(kernel) -> dict:
+    return memoize_by_identity(_ACCESS_MEMO, kernel, _build_access_summary)
 
 
 def analyze_batchability(kernel, device: Device = None):
@@ -198,25 +282,15 @@ def analyze_batchability(kernel, device: Device = None):
       ``While`` or from more than one site per buffer — rounding depends
       on the cross-block interleaving. Integer and min/max atomics are
       order-independent and stay batchable.
+
+    The kernel-tree walk is memoized per kernel object; only the cheap
+    device-dependent dtype check runs per call.
     """
-    loads = set()
-    stores = set()
-    atomics = {}
-    for instr, in_while in _walk_while_depth(kernel.body):
-        if isinstance(instr, LdGlobal):
-            loads.add(instr.buf)
-        elif isinstance(instr, StGlobal):
-            stores.add(instr.buf)
-            if in_while:
-                return False, f"global store inside a loop ({instr.buf!r})"
-        elif isinstance(instr, AtomGlobal):
-            entry = atomics.setdefault(
-                instr.buf, {"count": 0, "in_while": False, "ops": set()}
-            )
-            entry["count"] += 1
-            entry["in_while"] = entry["in_while"] or in_while
-            entry["ops"].add(instr.op)
-    hazard = loads & (stores | set(atomics))
+    summary = _kernel_access_summary(kernel)
+    if summary["store_in_while"] is not None:
+        return False, f"global store inside a loop ({summary['store_in_while']!r})"
+    atomics = summary["atomics"]
+    hazard = summary["loads"] & (summary["stores"] | set(atomics))
     if hazard:
         return False, f"load/store hazard on {sorted(hazard)}"
     for buf, entry in atomics.items():
@@ -249,15 +323,21 @@ class Executor:
         check_races: bool = False,
         loop_cap: int = None,
         mode: str = "auto",
+        backend: str = "compiled",
     ):
         if mode not in EXECUTION_MODES:
             raise ValueError(
                 f"mode must be one of {EXECUTION_MODES}, got {mode!r}"
             )
+        if backend not in EXECUTION_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {EXECUTION_BACKENDS}, got {backend!r}"
+            )
         self.device = device if device is not None else Device()
         self.check_races = check_races
         self.loop_cap = loop_cap or self.DEFAULT_LOOP_CAP
         self.mode = mode
+        self.backend = backend
 
     # -- plan level -----------------------------------------------------
 
@@ -324,6 +404,12 @@ class Executor:
 
         mode = self.execution_mode(step)
         profile.meta["exec.mode"] = mode
+        profile.meta["exec.backend"] = self.backend
+        trace = None
+        if self.backend == "compiled":
+            from .compile import compile_kernel  # lazy: avoids import cycle
+
+            trace = compile_kernel(kernel).trace
         atomic_addr_counts = {}
         if mode == "batched":
             batch = max(1, self.BATCH_LANES // max(1, step.block))
@@ -334,12 +420,18 @@ class Executor:
                     block_ids[start : start + batch],
                     profile.events,
                     atomic_addr_counts,
+                    trace=trace,
                 )
                 chunk.run()
         else:
             for block_id in block_ids:
                 block = _BlockRun(
-                    self, step, int(block_id), profile.events, atomic_addr_counts
+                    self,
+                    step,
+                    int(block_id),
+                    profile.events,
+                    atomic_addr_counts,
+                    trace=trace,
                 )
                 block.run()
 
@@ -358,15 +450,18 @@ class Executor:
 class _BlockRun:
     """Execution state of one block (registers, shared memory, masks)."""
 
-    def __init__(self, executor, step, block_id, events, atomic_addr_counts):
+    def __init__(self, executor, step, block_id, events, atomic_addr_counts,
+                 trace=None):
         self.executor = executor
         self.device = executor.device
         self.step = step
         self.kernel = step.kernel
         self.block_id = block_id
         self.nthreads = step.block
+        self.shape = (step.block,)
         self.events = events
         self.atomic_addr_counts = atomic_addr_counts
+        self.trace = trace
         self.regs = {}
         self.shared = {
             decl.name: np.zeros(decl.size, dtype=np.float64)
@@ -375,12 +470,21 @@ class _BlockRun:
         self.nwarps = (self.nthreads + WARP - 1) // WARP
         # padded lane->warp mapping for warp-granularity statistics
         self._warp_of_lane = np.arange(self.nthreads) // WARP
+        #: Compiled-trace state: active-warp count / all-lanes-active of
+        #: the current trace mask (None while interpreting), and a per-run
+        #: cache for trace-invariant values (specials, params).
+        self._cur_warps = None
+        self._cur_all = None
+        self._cache = {}
 
     # -- helpers -------------------------------------------------------
 
     def run(self) -> None:
-        mask = np.ones(self.nthreads, dtype=bool)
-        self._exec_body(self.kernel.body, mask)
+        mask = np.ones(self.shape, dtype=bool)
+        if self.trace is None:
+            self._exec_body(self.kernel.body, mask)
+        else:
+            self._run_trace(self.trace, mask)
 
     def _active_warps(self, mask) -> int:
         if not mask.any():
@@ -388,9 +492,66 @@ class _BlockRun:
         return int(np.unique(self._warp_of_lane[mask]).size)
 
     def _count(self, key, mask) -> None:
+        if self._cur_warps is not None:
+            self.events[key] += self._cur_warps
+            return
         warps = self._active_warps(mask)
         if warps:
             self.events[key] += warps
+
+    def _bar(self, mask) -> None:
+        self.events["inst.bar"] += 1
+
+    # -- compiled-trace execution (see repro.gpusim.compile) -----------
+
+    def _run_trace(self, trace, mask) -> None:
+        """Run a compiled closure trace under ``mask``: hoists the
+        per-instruction ``mask.any()`` check and active-warp count to
+        trace entry (straight-line code never changes the mask)."""
+        if not mask.any():
+            return
+        saved = (self._cur_warps, self._cur_all)
+        if mask.all():
+            self._cur_all = True
+            self._cur_warps = self.nwarps
+        else:
+            self._cur_all = False
+            self._cur_warps = int(np.unique(self._warp_of_lane[mask]).size)
+        try:
+            for fn in trace:
+                fn(self, mask)
+        finally:
+            self._cur_warps, self._cur_all = saved
+
+    def _exec_if_c(self, cond_read, then_trace, else_trace, has_else, mask):
+        cond = np.asarray(cond_read(self), dtype=bool)
+        then_mask = mask & cond
+        else_mask = mask & ~cond
+        # A warp diverges when its active lanes take both paths.
+        for warp in np.unique(self._warp_of_lane[mask]):
+            lanes = self._warp_of_lane == warp
+            if (then_mask & lanes).any() and (else_mask & lanes).any():
+                self.events["branch.divergent"] += 1
+        self._run_trace(then_trace, then_mask)
+        if has_else:
+            self._run_trace(else_trace, else_mask)
+
+    def _exec_while_c(self, cond_trace, cond_read, body_trace, mask):
+        active = mask.copy()
+        iterations = 0
+        while True:
+            self._run_trace(cond_trace, active)
+            cond = np.asarray(cond_read(self), dtype=bool)
+            active &= cond
+            if not active.any():
+                return
+            iterations += 1
+            if iterations > self.executor.loop_cap:
+                raise SimulationError(
+                    f"kernel {self.kernel.name!r}: loop exceeded iteration cap "
+                    f"({self.executor.loop_cap})"
+                )
+            self._run_trace(body_trace, active)
 
     def _read(self, operand, mask):
         if isinstance(operand, Imm):
@@ -409,10 +570,22 @@ class _BlockRun:
         if value.ndim == 0:
             value = np.broadcast_to(value, (self.nthreads,))
         current = self.regs.get(reg.name)
-        if current is None or mask.all():
+        all_active = self._cur_all
+        if all_active is None:
+            all_active = mask.all()
+        if current is None or all_active:
             # Inactive lanes keep whatever the vectorized computation put
             # there — deterministic in the simulator, "undefined" on HW.
-            self.regs[reg.name] = np.array(value, dtype=_promote_dtype(value.dtype))
+            if self._cur_warps is not None:
+                # Compiled traces never mutate register arrays in place,
+                # so aliasing is safe and the defensive copy is skipped.
+                self.regs[reg.name] = value.astype(
+                    _promote_dtype(value.dtype), copy=False
+                )
+            else:
+                self.regs[reg.name] = np.array(
+                    value, dtype=_promote_dtype(value.dtype)
+                )
             return
         merged_dtype = np.result_type(current.dtype, value.dtype)
         if merged_dtype != current.dtype:
@@ -479,7 +652,7 @@ class _BlockRun:
         elif isinstance(instr, Shfl):
             self._shfl(instr, mask)
         elif isinstance(instr, Bar):
-            self.events["inst.bar"] += 1
+            self._bar(mask)
         elif isinstance(instr, If):
             self._exec_if(instr, mask)
         elif isinstance(instr, While):
@@ -756,7 +929,8 @@ class _BatchedRun:
       rather than the first offending block.
     """
 
-    def __init__(self, executor, step, block_ids, events, atomic_addr_counts):
+    def __init__(self, executor, step, block_ids, events, atomic_addr_counts,
+                 trace=None):
         self.executor = executor
         self.device = executor.device
         self.step = step
@@ -767,6 +941,7 @@ class _BatchedRun:
         self.shape = (self.nblocks, self.nthreads)
         self.events = events
         self.atomic_addr_counts = atomic_addr_counts
+        self.trace = trace
         self.regs = {}
         self.shared = {
             decl.name: np.zeros((self.nblocks, decl.size), dtype=np.float64)
@@ -783,14 +958,24 @@ class _BatchedRun:
             np.arange(self.nblocks, dtype=np.int64)[:, None] * self.nwarps
             + self._warp_of_lane[None, :]
         )
+        #: Compiled-trace state (see _BlockRun).
+        self._cur_warps = None
+        self._cur_all = None
+        self._cache = {}
 
     # -- helpers -------------------------------------------------------
 
     def run(self) -> None:
         mask = np.ones(self.shape, dtype=bool)
-        self._exec_body(self.kernel.body, mask)
+        if self.trace is None:
+            self._exec_body(self.kernel.body, mask)
+        else:
+            self._run_trace(self.trace, mask)
 
     def _count(self, key, mask) -> None:
+        if self._cur_warps is not None:
+            self.events[key] += self._cur_warps
+            return
         if not mask.any():
             return
         # bitwise_or over bool == "any active lane", per warp per block.
@@ -798,6 +983,67 @@ class _BatchedRun:
         warps = int(np.count_nonzero(per_warp))
         if warps:
             self.events[key] += warps
+
+    def _bar(self, mask) -> None:
+        # One barrier per block that actually reaches it.
+        if self._cur_all:
+            self.events["inst.bar"] += self.nblocks
+        else:
+            self.events["inst.bar"] += int(mask.any(axis=1).sum())
+
+    # -- compiled-trace execution (see repro.gpusim.compile) -----------
+
+    def _run_trace(self, trace, mask) -> None:
+        if not mask.any():
+            return
+        saved = (self._cur_warps, self._cur_all)
+        if mask.all():
+            self._cur_all = True
+            self._cur_warps = self.nblocks * self.nwarps
+        else:
+            self._cur_all = False
+            per_warp = np.bitwise_or.reduceat(mask, self._warp_starts, axis=1)
+            self._cur_warps = int(np.count_nonzero(per_warp))
+        try:
+            for fn in trace:
+                fn(self, mask)
+        finally:
+            self._cur_warps, self._cur_all = saved
+
+    def _exec_if_c(self, cond_read, then_trace, else_trace, has_else, mask):
+        cond = np.asarray(cond_read(self), dtype=bool)
+        if cond.shape != self.shape:
+            cond = np.broadcast_to(cond, self.shape)
+        then_mask = mask & cond
+        else_mask = mask & ~cond
+        # A warp diverges when its active lanes take both paths.
+        then_any = np.bitwise_or.reduceat(then_mask, self._warp_starts, axis=1)
+        else_any = np.bitwise_or.reduceat(else_mask, self._warp_starts, axis=1)
+        divergent = int(np.count_nonzero(then_any & else_any))
+        if divergent:
+            self.events["branch.divergent"] += divergent
+        self._run_trace(then_trace, then_mask)
+        if has_else:
+            self._run_trace(else_trace, else_mask)
+
+    def _exec_while_c(self, cond_trace, cond_read, body_trace, mask):
+        active = mask.copy()
+        iterations = 0
+        while True:
+            self._run_trace(cond_trace, active)
+            cond = np.asarray(cond_read(self), dtype=bool)
+            if cond.shape != self.shape:
+                cond = np.broadcast_to(cond, self.shape)
+            active &= cond
+            if not active.any():
+                return
+            iterations += 1
+            if iterations > self.executor.loop_cap:
+                raise SimulationError(
+                    f"kernel {self.kernel.name!r}: loop exceeded iteration cap "
+                    f"({self.executor.loop_cap})"
+                )
+            self._run_trace(body_trace, active)
 
     def _read(self, operand, mask):
         if isinstance(operand, Imm):
@@ -816,10 +1062,22 @@ class _BatchedRun:
         if value.shape != self.shape:
             value = np.broadcast_to(value, self.shape)
         current = self.regs.get(reg.name)
-        if current is None or mask.all():
+        all_active = self._cur_all
+        if all_active is None:
+            all_active = mask.all()
+        if current is None or all_active:
             # Inactive lanes keep whatever the vectorized computation put
             # there — deterministic in the simulator, "undefined" on HW.
-            self.regs[reg.name] = np.array(value, dtype=_promote_dtype(value.dtype))
+            if self._cur_warps is not None:
+                # Compiled traces never mutate register arrays in place,
+                # so aliasing is safe and the defensive copy is skipped.
+                self.regs[reg.name] = value.astype(
+                    _promote_dtype(value.dtype), copy=False
+                )
+            else:
+                self.regs[reg.name] = np.array(
+                    value, dtype=_promote_dtype(value.dtype)
+                )
             return
         merged_dtype = np.result_type(current.dtype, value.dtype)
         if merged_dtype != current.dtype:
@@ -886,8 +1144,7 @@ class _BatchedRun:
         elif isinstance(instr, Shfl):
             self._shfl(instr, mask)
         elif isinstance(instr, Bar):
-            # One barrier per block that actually reaches it.
-            self.events["inst.bar"] += int(mask.any(axis=1).sum())
+            self._bar(mask)
         elif isinstance(instr, If):
             self._exec_if(instr, mask)
         elif isinstance(instr, While):
@@ -955,7 +1212,7 @@ class _BatchedRun:
         idx = np.asarray(self._read(operand, mask))
         if idx.shape != self.shape:
             idx = np.broadcast_to(idx, self.shape)
-        active_idx = idx[mask]
+        active_idx = idx if self._cur_all else idx[mask]
         arr = self.device.get(buf)
         if active_idx.size and (
             active_idx.min() < 0 or active_idx.max() >= len(arr)
@@ -965,35 +1222,74 @@ class _BatchedRun:
                 f"buffer {buf!r} (size {len(arr)}, index range "
                 f"[{active_idx.min()}, {active_idx.max()}])"
             )
+        if self._cur_warps is not None:
+            # Compiled path: callers never mutate the index array, skip
+            # the defensive copy when it is already int64.
+            return idx.astype(np.int64, copy=False)
         return idx.astype(np.int64)
 
     def _count_transactions(self, idx, mask, buf, kind, width: int = 1) -> None:
         """Count unique 128-byte segments per (block, warp) group."""
         arr = self.device.get(buf)
         per_segment = max(1, 128 // arr.dtype.itemsize)
-        segment_space = len(arr) // per_segment + width + 1
-        gid = self._gid[mask]
-        base = idx[mask]
-        if width == 1:
-            keys = gid * segment_space + base // per_segment
+        if self._cur_warps is not None:
+            total = self._count_segments_sorted(idx, mask, per_segment, width)
         else:
-            keys = np.concatenate(
-                [gid * segment_space + (base + k) // per_segment
-                 for k in range(width)]
-            )
-        total = int(np.unique(keys).size)
+            segment_space = len(arr) // per_segment + width + 1
+            gid = self._gid[mask]
+            base = idx[mask]
+            if width == 1:
+                keys = gid * segment_space + base // per_segment
+            else:
+                keys = np.concatenate(
+                    [gid * segment_space + (base + k) // per_segment
+                     for k in range(width)]
+                )
+            total = int(np.unique(keys).size)
         self.events[f"mem.global.{kind}.trans"] += total
         self.events["mem.global.bytes"] += total * 128
+        active = mask.size if self._cur_all else int(mask.sum())
         self.events["mem.global.bytes_useful"] += (
-            int(mask.sum()) * width * arr.dtype.itemsize
+            active * width * arr.dtype.itemsize
         )
+
+    def _count_segments_sorted(self, idx, mask, per_segment, width) -> int:
+        """Unique active segments per (block, warp), summed — the same
+        quantity the interpreted path gets from one ``np.unique`` over
+        ``group * segment_space + segment`` keys, computed instead by
+        sorting fixed 32-lane warp rows (inactive lanes hold a ``-1``
+        sentinel). Sorting many short rows beats one global unique and
+        materializes no key array; per sorted row the distinct
+        non-sentinel count is ``adjacent-changes + (first != -1)``."""
+        nw = self.nwarps
+        lanes = nw * WARP
+        planes = []
+        for k in range(width):
+            seg = (idx if k == 0 else idx + k) // per_segment
+            if not self._cur_all:
+                seg = np.where(mask, seg, -1)
+            if self.nthreads != lanes:
+                pad = np.full((self.nblocks, lanes), -1, dtype=seg.dtype)
+                pad[:, : self.nthreads] = seg
+                seg = pad
+            planes.append(seg.reshape(self.nblocks * nw, WARP))
+        rows = planes[0] if width == 1 else np.concatenate(planes, axis=1)
+        rows.sort(axis=1)
+        changes = int(np.count_nonzero(rows[:, 1:] != rows[:, :-1]))
+        nonempty = int(np.count_nonzero(rows[:, 0] != -1))
+        return changes + nonempty
 
     def _ld_global(self, instr, mask) -> None:
         idx = self._global_indices(instr.idx, mask, instr.buf)
         arr = self.device.get(instr.buf)
         if instr.width == 1:
-            value = np.zeros(self.shape, dtype=np.float64)
-            value[mask] = arr[idx[mask]]
+            if self._cur_all:
+                # Full mask: the masked scatter below degenerates to a
+                # plain gather (bit-identical, no zeros container).
+                value = arr[idx].astype(np.float64)
+            else:
+                value = np.zeros(self.shape, dtype=np.float64)
+                value[mask] = arr[idx[mask]]
             self._write(instr.dst, value, mask)
             self._count_transactions(idx, mask, instr.buf, "ld")
         else:

@@ -10,10 +10,12 @@ from .cache import (
     CACHE_DIR_ENV,
     CacheStats,
     DEFAULT_MAX_ENTRIES,
+    DEFAULT_PLAN_ENTRIES,
     ProfileCache,
     configure,
     content_key,
     default_cache,
+    default_plan_cache,
 )
 from .parallel import MAX_WORKERS_ENV, map_profiles, resolve_workers
 
@@ -21,11 +23,13 @@ __all__ = [
     "CACHE_DIR_ENV",
     "CacheStats",
     "DEFAULT_MAX_ENTRIES",
+    "DEFAULT_PLAN_ENTRIES",
     "MAX_WORKERS_ENV",
     "ProfileCache",
     "configure",
     "content_key",
     "default_cache",
+    "default_plan_cache",
     "map_profiles",
     "resolve_workers",
 ]

@@ -252,6 +252,32 @@ def default_cache() -> ProfileCache:
         return _default_cache
 
 
+#: Default bound on cached built plans (each holds kernels + compiled
+#: closure traces; hundreds cover any realistic sweep grid).
+DEFAULT_PLAN_ENTRIES = 512
+
+_default_plan_cache = None
+
+
+def default_plan_cache() -> ProfileCache:
+    """The process-wide cache of *built plans*.
+
+    Keys hash everything that determines a synthesized plan — operator,
+    element ctype, version identifier, input size, tunables and the
+    preprocessing pass log (see
+    :func:`repro.codegen.synthesize.plan_key`); values are fully built
+    :class:`~repro.vir.program.Plan` objects whose kernels carry
+    memoized compiled closure traces and batchability summaries. Memory
+    tier only: the whole point is sharing the in-process objects (and
+    their id-keyed memos), so a pickled copy would be useless.
+    """
+    global _default_plan_cache
+    with _default_lock:
+        if _default_plan_cache is None:
+            _default_plan_cache = ProfileCache(max_entries=DEFAULT_PLAN_ENTRIES)
+        return _default_plan_cache
+
+
 def configure(max_entries: int = None, disk_dir=None) -> ProfileCache:
     """Replace the default cache (e.g. to turn the disk tier on/off)."""
     global _default_cache

@@ -21,13 +21,14 @@ fan out over the :mod:`repro.perf.parallel` pool.
 from __future__ import annotations
 
 import hashlib
+import threading
 import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..baselines import CUB_HOST_OVERHEAD_S, build_cub_plan, build_kokkos_plan
-from ..codegen.synthesize import Tunables, build_plan
+from ..codegen.synthesize import Tunables, build_plan_cached
 from ..core.pipeline import PreprocessResult, preprocess
 from ..core.sources import load_reduction_program
 from ..core.variants import (
@@ -44,6 +45,7 @@ from ..gpusim import (
     Executor,
     PlanProfile,
     get_architecture,
+    parse_engine_spec,
     plan_time,
 )
 from ..perf import ProfileCache, content_key, default_cache, map_profiles
@@ -51,6 +53,24 @@ from ..vir import MemsetStep
 
 #: Default number of blocks executed when profiling large launches.
 _PROFILE_SAMPLE = 3
+
+# The DSL frontend (program load + preprocessing passes) is pure per
+# (op, ctype, unroll) configuration, so its results are shared across
+# every ReductionFramework instance in the process — including the
+# profile_many worker threads, which each construct a framework.
+_frontend_lock = threading.Lock()
+_FRONTEND_MEMO = {}
+
+
+def _frontend(op: str, ctype: str, unroll: bool):
+    key = (op, ctype, unroll)
+    with _frontend_lock:
+        entry = _FRONTEND_MEMO.get(key)
+        if entry is None:
+            analyzed = load_reduction_program(op, ctype)
+            entry = (analyzed, preprocess(analyzed, unroll=unroll))
+            _FRONTEND_MEMO[key] = entry
+        return entry
 
 
 @dataclass
@@ -73,12 +93,16 @@ class ReductionFramework:
         ctype: str = "float",
         unroll: bool = False,
         cache: ProfileCache = None,
+        engine: str = "auto",
     ):
         self.op = op
         self.ctype = ctype
         self.unroll = unroll
-        self.analyzed = load_reduction_program(op, ctype)
-        self.pre: PreprocessResult = preprocess(self.analyzed, unroll=unroll)
+        # ``engine`` is a simulator spec ("auto", "batched", "compiled",
+        # "sequential-interpreted", ...) applied to every run/profile of
+        # this instance unless overridden per call.
+        self.engine_mode, self.engine_backend = parse_engine_spec(engine)
+        self.analyzed, self.pre = _frontend(op, ctype, unroll)
         self.all_versions = enumerate_versions()
         self.versions = prune_versions(self.all_versions)
         self.catalog = dict(FIG6)
@@ -109,7 +133,7 @@ class ReductionFramework:
     # -- functional execution -------------------------------------------------
 
     def build(self, version, n: int, tunables: Tunables = None):
-        return build_plan(self.pre, self.resolve(version), n, tunables)
+        return build_plan_cached(self.pre, self.resolve(version), n, tunables)
 
     @property
     def dtype(self):
@@ -121,20 +145,28 @@ class ReductionFramework:
         data: np.ndarray,
         version="p",
         tunables: Tunables = None,
-        engine_mode: str = "auto",
+        engine_mode: str = None,
     ) -> ReduceResult:
         """Reduce ``data`` with one synthesized version, fully executed.
 
-        ``engine_mode`` selects the simulator's execution strategy
-        (``auto`` | ``batched`` | ``sequential``); both strategies are
-        bit-identical on reduction kernels, ``batched`` is much faster.
+        ``engine_mode`` is an engine spec combining an execution mode
+        (``auto`` | ``batched`` | ``sequential``) and a dispatch backend
+        (``compiled`` | ``interpreted``), e.g. ``"batched"``,
+        ``"interpreted"`` or ``"sequential-interpreted"``. Every
+        combination is bit-identical in results and event counts;
+        ``batched`` + ``compiled`` (the default) is the fastest. ``None``
+        uses the spec the framework was constructed with.
         """
         data = np.ascontiguousarray(data, dtype=self.dtype)
         if data.ndim != 1 or data.size == 0:
             raise ValueError("run() needs a non-empty 1-D array")
         resolved = self.resolve(version)
-        plan = build_plan(self.pre, resolved, data.size, tunables)
-        executor = Executor(mode=engine_mode)
+        plan = build_plan_cached(self.pre, resolved, data.size, tunables)
+        if engine_mode is None:
+            mode, backend = self.engine_mode, self.engine_backend
+        else:
+            mode, backend = parse_engine_spec(engine_mode)
+        executor = Executor(mode=mode, backend=backend)
         executor.device.upload("in", data)
         profile = executor.run_plan(plan)
         return ReduceResult(
@@ -177,8 +209,14 @@ class ReductionFramework:
         if entry is not None:
             return entry
         start = time.perf_counter()
-        plan = build_plan(self.pre, resolved, n, tunables)
-        profile = _profile_plan(plan, n, sample_limit)
+        plan = build_plan_cached(self.pre, resolved, n, tunables)
+        profile = _profile_plan(
+            plan,
+            n,
+            sample_limit,
+            mode=self.engine_mode,
+            backend=self.engine_backend,
+        )
         num_memsets = sum(
             1 for step in plan.steps if isinstance(step, MemsetStep)
         )
@@ -284,14 +322,20 @@ class ReductionFramework:
 # ---------------------------------------------------------------------
 
 
-def _profile_plan(plan, n: int, sample_limit: int = None) -> PlanProfile:
+def _profile_plan(
+    plan,
+    n: int,
+    sample_limit: int = None,
+    mode: str = "auto",
+    backend: str = "compiled",
+) -> PlanProfile:
     # The input buffer's dtype must match the plan's element type — an
     # int-element framework profiles against an int32 device array (the
     # transaction/coalescing counters depend on the element width).
     dtype = np.dtype(plan.meta.get("dtype", "float32"))
     device = Device()
     device.alloc("in", n, dtype=dtype)
-    executor = Executor(device=device)
+    executor = Executor(device=device, mode=mode, backend=backend)
     if sample_limit is None:
         max_grid = max(step.grid for step in plan.kernel_steps())
         sample_limit = None if max_grid <= 64 else _PROFILE_SAMPLE

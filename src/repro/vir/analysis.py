@@ -1,0 +1,223 @@
+"""Static analysis over VIR: uniform-constant evaluation and trip counts.
+
+The closure compiler in :mod:`repro.gpusim.compile` unrolls structured
+loops whose trip counts are statically known — the Listing 4 reduction
+tree loops, whose induction registers are seeded from immediates and
+stepped with constant arithmetic (``offset >>= 1`` style). This module
+provides the conservative abstract interpreter that proves it:
+
+* a register is tracked as a **uniform constant** when every lane of
+  every block provably holds the same scalar value at that program
+  point (it was written unconditionally from immediates / other uniform
+  constants);
+* anything else — special registers, loads, shuffles, parameters,
+  writes under divergent control flow — poisons the destination to
+  :data:`UNKNOWN`.
+
+Scalar evaluation mirrors the engine's numpy semantics exactly for the
+cases it accepts (C-style floor division, bool-as-int coercion); any
+case where Python and numpy could disagree (division by zero, NaN
+ordering, out-of-range shifts) conservatively returns ``UNKNOWN``, so a
+failed analysis can never change observable behaviour — the loop simply
+stays a loop.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .instructions import (
+    BinOp,
+    Comment,
+    If,
+    Imm,
+    Mov,
+    Reg,
+    Sel,
+    UnOp,
+    While,
+    walk_instrs,
+)
+
+#: Sentinel for "not a compile-time uniform constant".
+UNKNOWN = object()
+
+
+def written_regs(body) -> set:
+    """Names of every register written anywhere in ``body`` (nested too)."""
+    regs = set()
+    for instr in walk_instrs(body):
+        dst = getattr(instr, "dst", None)
+        if isinstance(dst, Reg):
+            regs.add(dst.name)
+        elif isinstance(dst, list):
+            regs.update(r.name for r in dst if isinstance(r, Reg))
+    return regs
+
+
+def _read(operand, env):
+    if isinstance(operand, Imm):
+        return operand.value
+    if isinstance(operand, Reg):
+        return env.get(operand.name, UNKNOWN)
+    return UNKNOWN
+
+
+def _as_arith(value):
+    """numpy arithmetic coerces bool operands to ints (_coerce_bool)."""
+    if isinstance(value, bool):
+        return int(value)
+    return value
+
+
+def _is_int_like(value) -> bool:
+    return isinstance(value, (int, bool))
+
+
+def _apply_binop(op, a, b):
+    """Scalar twin of the engine's ``_np_binop``; UNKNOWN when unsure."""
+    if isinstance(a, float) and math.isnan(a):
+        return UNKNOWN
+    if isinstance(b, float) and math.isnan(b):
+        return UNKNOWN
+    if op == "lt":
+        return a < b
+    if op == "le":
+        return a <= b
+    if op == "gt":
+        return a > b
+    if op == "ge":
+        return a >= b
+    if op == "eq":
+        return a == b
+    if op == "ne":
+        return a != b
+    if op == "land":
+        return bool(a) and bool(b)
+    if op == "lor":
+        return bool(a) or bool(b)
+    a = _as_arith(a)
+    b = _as_arith(b)
+    if op == "add":
+        return a + b
+    if op == "sub":
+        return a - b
+    if op == "mul":
+        return a * b
+    if op == "min":
+        return min(a, b)
+    if op == "max":
+        return max(a, b)
+    if op == "div":
+        if b == 0:
+            return UNKNOWN  # numpy warns and yields 0/inf; stay conservative
+        if _is_int_like(a) and _is_int_like(b):
+            return a // b  # floor division, like the engine's _int_div
+        return a / b
+    if op == "mod":
+        if b == 0:
+            return UNKNOWN
+        return a % b
+    if not (_is_int_like(a) and _is_int_like(b)):
+        return UNKNOWN  # bitwise ops on floats never appear in valid VIR
+    if op == "and":
+        return a & b
+    if op == "or":
+        return a | b
+    if op == "xor":
+        return a ^ b
+    if op == "shl":
+        return a << b if 0 <= b < 64 else UNKNOWN
+    if op == "shr":
+        return a >> b if 0 <= b < 64 else UNKNOWN
+    return UNKNOWN
+
+
+def _apply_unop(op, a):
+    if isinstance(a, float) and math.isnan(a):
+        return UNKNOWN
+    if op == "neg":
+        return -_as_arith(a)
+    if op == "lnot":
+        return not a
+    if op == "bnot":
+        if not _is_int_like(a):
+            return UNKNOWN
+        return ~_as_arith(a)
+    return UNKNOWN
+
+
+def eval_const_instr(instr, env) -> None:
+    """Abstractly execute one instruction over a uniform-constant env.
+
+    ``env`` maps register name -> scalar value (or UNKNOWN). Whatever
+    cannot be proven uniform-constant poisons its destinations; the env
+    is mutated in place.
+    """
+    if isinstance(instr, Comment):
+        return
+    if isinstance(instr, Mov):
+        env[instr.dst.name] = _read(instr.a, env)
+        return
+    if isinstance(instr, BinOp):
+        a = _read(instr.a, env)
+        b = _read(instr.b, env)
+        if a is UNKNOWN or b is UNKNOWN:
+            env[instr.dst.name] = UNKNOWN
+        else:
+            env[instr.dst.name] = _apply_binop(instr.op, a, b)
+        return
+    if isinstance(instr, UnOp):
+        a = _read(instr.a, env)
+        env[instr.dst.name] = UNKNOWN if a is UNKNOWN else _apply_unop(instr.op, a)
+        return
+    if isinstance(instr, Sel):
+        cond = _read(instr.cond, env)
+        a = _read(instr.a, env)
+        b = _read(instr.b, env)
+        if UNKNOWN in (cond, a, b):
+            env[instr.dst.name] = UNKNOWN
+        else:
+            env[instr.dst.name] = a if cond else b
+        return
+    if isinstance(instr, (If, While)):
+        # Writes under (possibly) divergent control are not uniform.
+        for name in written_regs([instr]):
+            env[name] = UNKNOWN
+        return
+    dst = getattr(instr, "dst", None)
+    if isinstance(dst, Reg):
+        env[dst.name] = UNKNOWN
+    elif isinstance(dst, list):
+        for reg in dst:
+            if isinstance(reg, Reg):
+                env[reg.name] = UNKNOWN
+
+
+def eval_const_body(body, env) -> None:
+    """Abstractly execute a straight-line body (mutates ``env``)."""
+    for instr in body:
+        eval_const_instr(instr, env)
+
+
+def uniform_trip_count(loop: While, env, max_trips: int = 256):
+    """Trip count of a ``While`` whose condition is uniform-constant.
+
+    Simulates the loop's condition block and body over a copy of the
+    uniform-constant environment. Returns ``(trips, env_after)`` when
+    the loop provably executes its body exactly ``trips`` times for
+    every lane of every block (``env_after`` is the register state after
+    the final condition evaluation); ``(None, None)`` otherwise.
+    """
+    env = dict(env)
+    trips = 0
+    while trips <= max_trips:
+        eval_const_body(loop.cond_block, env)
+        cond = env.get(loop.cond.name, UNKNOWN)
+        if cond is UNKNOWN:
+            return None, None
+        if not cond:
+            return trips, env
+        eval_const_body(loop.body, env)
+        trips += 1
+    return None, None

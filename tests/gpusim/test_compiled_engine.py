@@ -1,0 +1,295 @@
+"""Compiled vs interpreted execution: bit-identical results and events.
+
+The compiled backend walks each kernel body once and emits a flat list
+of specialized closures (with block-uniform constant loops unrolled into
+the trace), so per-instruction dispatch disappears from the hot loop.
+Its contract (ISSUE: closure-compiled VIR executor) is that on *every*
+kernel it produces bit-identical results AND identical per-step event
+counters to the tree-walking interpreter, under both the sequential and
+batched execution modes. These tests sweep the full Figure 6 catalog
+for every supported (op, ctype) pair, plus the engine-spec parsing, the
+compile/batchability memos and the process-wide plan cache.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.codegen import Tunables, build_plan_cached, plan_key
+from repro.gpusim import (
+    EXECUTION_BACKENDS,
+    Executor,
+    analyze_batchability,
+    compile_kernel,
+    parse_engine_spec,
+)
+from repro.perf import default_plan_cache
+from repro.runtime import ReductionFramework
+
+FIG6_LABELS = "abcdefghijklmnop"
+OPS = ("add", "max", "min")
+CTYPES = ("float", "int")
+
+
+def _tunables(version):
+    if version.block_kind == "coop":
+        return Tunables(block=64)
+    return Tunables(block=64, grid=8)
+
+
+def _data(ctype, n, seed=7):
+    rng = np.random.default_rng(seed)
+    if ctype == "int":
+        return rng.integers(-50, 50, size=n).astype(np.int32)
+    return rng.random(n).astype(np.float32)
+
+
+def _run(plan, data, mode="auto", backend="compiled"):
+    executor = Executor(mode=mode, backend=backend)
+    executor.device.upload("in", data)
+    return executor.run_plan(plan)
+
+
+def _assert_profiles_identical(ref, got):
+    assert got.result == ref.result  # bit-identical, no tolerance
+    assert len(got.steps) == len(ref.steps)
+    for r, g in zip(ref.steps, got.steps):
+        assert dict(g.events) == dict(r.events), r.kernel_name
+
+
+@pytest.fixture(scope="module")
+def frameworks():
+    return {
+        (op, ctype): ReductionFramework(op=op, ctype=ctype)
+        for op, ctype in itertools.product(OPS, CTYPES)
+    }
+
+
+class TestFigure6Equivalence:
+    @pytest.mark.parametrize("label", sorted(FIG6_LABELS))
+    @pytest.mark.parametrize("ctype", CTYPES)
+    @pytest.mark.parametrize("op", OPS)
+    def test_results_and_events_identical(self, frameworks, label, op, ctype):
+        """Exhaustive: every Fig. 6 version × op × element type."""
+        fw = frameworks[(op, ctype)]
+        n = 3333
+        data = _data(ctype, n)
+        version = fw.resolve(label)
+        plan = fw.build(version, n, _tunables(version))
+        interp = _run(plan, data, backend="interpreted")
+        comp = _run(plan, data, backend="compiled")
+        _assert_profiles_identical(interp, comp)
+
+    @pytest.mark.parametrize("label", ["b", "p"])
+    def test_all_mode_backend_combinations(self, frameworks, label):
+        """Both backends × both forced modes agree with the reference
+        sequential interpreter."""
+        fw = frameworks[("add", "float")]
+        n = 2048
+        data = _data("float", n, seed=11)
+        version = fw.resolve(label)
+        plan = fw.build(version, n, _tunables(version))
+        ref = _run(plan, data, mode="sequential", backend="interpreted")
+        for mode in ("sequential", "batched"):
+            for backend in EXECUTION_BACKENDS:
+                got = _run(plan, data, mode=mode, backend=backend)
+                _assert_profiles_identical(ref, got)
+
+    def test_device_buffers_identical(self, frameworks):
+        """Not just the scalar result: every output buffer matches."""
+        fw = frameworks[("add", "float")]
+        data = _data("float", 2048, seed=13)
+        plan = fw.build("b", len(data), Tunables(block=64, grid=8))
+        outs = {}
+        for backend in EXECUTION_BACKENDS:
+            executor = Executor(backend=backend)
+            executor.device.upload("in", data)
+            executor.run_plan(plan)
+            outs[backend] = executor.device.download("out").copy()
+        np.testing.assert_array_equal(outs["interpreted"], outs["compiled"])
+
+    def test_sampled_run_identical(self, frameworks):
+        fw = frameworks[("add", "float")]
+        data = _data("float", 1 << 16, seed=5)
+        plan = fw.build("b", len(data), Tunables(block=128, grid=32))
+        interp = _run(plan, data, backend="interpreted")
+        comp = _run(plan, data, backend="compiled")
+        _assert_profiles_identical(interp, comp)
+        seq = Executor(backend="interpreted")
+        seq.device.upload("in", data)
+        s = seq.run_plan(plan, sample_limit=3)
+        cmp_ = Executor(backend="compiled")
+        cmp_.device.upload("in", data)
+        c = cmp_.run_plan(plan, sample_limit=3)
+        for rs, cs in zip(s.steps, c.steps):
+            assert cs.sampled_blocks == rs.sampled_blocks
+            assert dict(cs.events) == dict(rs.events)
+
+
+class TestEngineSpec:
+    def test_defaults(self):
+        assert parse_engine_spec("auto") == ("auto", "compiled")
+        assert parse_engine_spec("compiled") == ("auto", "compiled")
+        assert parse_engine_spec("interpreted") == ("auto", "interpreted")
+        assert parse_engine_spec("batched") == ("batched", "compiled")
+        assert parse_engine_spec("sequential") == ("sequential", "compiled")
+
+    def test_combined_specs(self):
+        assert parse_engine_spec("batched-interpreted") == (
+            "batched",
+            "interpreted",
+        )
+        assert parse_engine_spec("sequential-compiled") == (
+            "sequential",
+            "compiled",
+        )
+        # order-independent
+        assert parse_engine_spec("interpreted-batched") == (
+            "batched",
+            "interpreted",
+        )
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["turbo", "batched-sequential", "compiled-interpreted", "auto-auto", ""],
+    )
+    def test_invalid_specs_rejected(self, spec):
+        with pytest.raises(ValueError):
+            parse_engine_spec(spec)
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError):
+            Executor(backend="jit")
+
+    def test_backend_recorded_in_meta(self):
+        fw = ReductionFramework(op="add")
+        data = np.ones(4096, dtype=np.float32)
+        plan = fw.build("b", len(data), Tunables(block=64, grid=8))
+        for backend in EXECUTION_BACKENDS:
+            profile = _run(plan, data, backend=backend)
+            assert all(
+                s.meta["exec.backend"] == backend for s in profile.steps
+            )
+
+    def test_framework_engine_spec_applied(self):
+        fw = ReductionFramework(op="add", engine="sequential-interpreted")
+        data = np.ones(2048, dtype=np.float32)
+        result = fw.run(data, "b", Tunables(block=64, grid=8))
+        steps = result.profile.steps
+        assert all(s.meta["exec.mode"] == "sequential" for s in steps)
+        assert all(s.meta["exec.backend"] == "interpreted" for s in steps)
+        # per-call override wins
+        result = fw.run(
+            data, "b", Tunables(block=64, grid=8), engine_mode="batched"
+        )
+        multi = [s for s in result.profile.steps if s.grid > 1]
+        assert multi and all(s.meta["exec.mode"] == "batched" for s in multi)
+        assert all(
+            s.meta["exec.backend"] == "compiled"
+            for s in result.profile.steps
+        )
+
+
+class TestCompilation:
+    def test_trace_is_memoized_per_kernel(self):
+        fw = ReductionFramework(op="add")
+        plan = fw.build("p", 4096, Tunables(block=64))
+        kernel = list(plan.kernel_steps())[0].kernel
+        first = compile_kernel(kernel)
+        assert compile_kernel(kernel) is first
+        assert first.kernel_name == kernel.name
+        # "closures" counts every emitted closure including those inside
+        # If/While sub-traces, so it bounds the top-level trace length.
+        assert 0 < len(first.trace) <= first.stats["closures"]
+
+    def test_tree_loops_unroll(self):
+        """Shuffle/shared-tree loops have block-uniform constant trip
+        counts and must unroll into the trace."""
+        fw = ReductionFramework(op="add")
+        plan = fw.build("p", 4096, Tunables(block=64))
+        kernel = list(plan.kernel_steps())[0].kernel
+        stats = compile_kernel(kernel).stats
+        assert stats["unrolled_loops"] >= 1
+        assert stats["unrolled_trips"] >= 1
+
+    def test_runtime_trip_loops_stay_loops(self):
+        """The per-thread coarsening loop's trip count depends on tid, so
+        it must remain a loop closure, not unroll."""
+        fw = ReductionFramework(op="add")
+        found_loop = False
+        for label in FIG6_LABELS:
+            version = fw.resolve(label)
+            plan = fw.build(version, 4096, _tunables(version))
+            for step in plan.kernel_steps():
+                stats = compile_kernel(step.kernel).stats
+                assert stats["unrolled_loops"] <= stats["loops"]
+                if stats["loops"] > stats["unrolled_loops"]:
+                    found_loop = True
+        assert found_loop
+
+    def test_batchability_memoized(self):
+        from repro.gpusim.engine import _kernel_access_summary
+
+        fw = ReductionFramework(op="add")
+        plan = fw.build("b", 4096, Tunables(block=64, grid=8))
+        kernel = list(plan.kernel_steps())[0].kernel
+        assert _kernel_access_summary(kernel) is _kernel_access_summary(kernel)
+        assert analyze_batchability(kernel) == analyze_batchability(kernel)
+
+
+class TestPlanCache:
+    def test_same_point_shares_one_plan(self):
+        fw1 = ReductionFramework(op="add")
+        fw2 = ReductionFramework(op="add")
+        t = Tunables(block=64, grid=8)
+        p1 = fw1.build("b", 4096, t)
+        p2 = fw2.build("b", 4096, t)
+        assert p1 is p2  # one built plan across framework instances
+        assert fw1.pre is fw2.pre  # frontend memoized too
+        assert fw1.build("b", 8192, t) is not p1  # different n, new plan
+
+    def test_key_separates_configurations(self):
+        fw_add = ReductionFramework(op="add")
+        fw_max = ReductionFramework(op="max")
+        v = fw_add.resolve("b")
+        t = Tunables(block=64, grid=8)
+        assert plan_key(fw_add.pre, v, 4096, t) != plan_key(
+            fw_max.pre, v, 4096, t
+        )
+        assert plan_key(fw_add.pre, v, 4096, t) != plan_key(
+            fw_add.pre, v, 8192, t
+        )
+        assert plan_key(fw_add.pre, v, 4096, t) == plan_key(
+            fw_add.pre, v, 4096, Tunables(block=64, grid=8)
+        )
+
+    def test_hit_statistics_recorded(self):
+        fw = ReductionFramework(op="add")
+        cache = default_plan_cache()
+        t = Tunables(block=96, grid=5)  # unlikely to be cached already
+        fw.build("b", 5000, t)
+        hits = cache.stats.hits
+        fw.build("b", 5000, t)
+        assert cache.stats.hits == hits + 1
+
+    def test_cached_plan_is_prewarmed(self):
+        from repro.gpusim.compile import _COMPILE_MEMO
+
+        fw = ReductionFramework(op="add")
+        plan = build_plan_cached(
+            fw.pre, fw.resolve("p"), 2222, Tunables(block=64)
+        )
+        for step in plan.kernel_steps():
+            assert id(step.kernel) in _COMPILE_MEMO
+
+    def test_cached_plans_still_correct(self):
+        """A plan served from the cache (shared kernels, shared traces)
+        reduces correctly for fresh executors and data."""
+        fw = ReductionFramework(op="add")
+        t = Tunables(block=64, grid=8)
+        for seed in (1, 2):
+            data = _data("float", 4096, seed=seed)
+            result = fw.run(data, "b", t)
+            ref = _run(fw.build("b", 4096, t), data, backend="interpreted")
+            assert result.value == ref.result
