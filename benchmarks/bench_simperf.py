@@ -11,7 +11,10 @@ Measures the mechanisms of docs/PERFORMANCE.md on this machine:
    cold (frontend plan build + closure compilation, the one-time cost
    the plan cache amortizes away);
 3. cold vs warm ``best_version`` sweeps through the unified profile
-   cache across several paper sizes.
+   cache across several paper sizes;
+4. the disabled-tracer fast path of :mod:`repro.obs` — instrumentation
+   must cost nothing when ``REPRO_TRACE`` is unset, so the per-call
+   overhead of a no-op ``tracer.span()`` is measured and bounded.
 
 Results go to ``BENCH_searchspace.json`` at the repository root so the
 speedups are tracked alongside the code. Headline ratios asserted:
@@ -86,6 +89,39 @@ def _sweep(fw) -> float:
     return time.perf_counter() - start
 
 
+#: Iterations for the no-op tracer micro-bench (large enough that the
+#: per-call quotient is stable, small enough to stay in the noise of the
+#: full bench run).
+NOOP_SPAN_ITERS = 200_000
+
+#: Ceiling on the disabled-tracer per-span cost. A no-op span is one
+#: attribute read plus returning a shared singleton — tens of
+#: nanoseconds; 2 microseconds leaves two orders of magnitude of slack
+#: for slow CI boxes while still catching any accidental allocation or
+#: timestamping on the disabled path.
+NOOP_SPAN_CEILING_S = 2e-6
+
+
+def _noop_tracer_overhead() -> float:
+    """Per-call seconds of ``tracer.span()`` with tracing disabled."""
+    from repro.obs import get_tracer
+
+    tracer = get_tracer()
+    was_enabled = tracer.enabled
+    tracer.enabled = False  # force the fast path even if REPRO_TRACE set
+    try:
+        with tracer.span("bench.warmup"):
+            pass
+        start = time.perf_counter()
+        for _ in range(NOOP_SPAN_ITERS):
+            with tracer.span("bench.noop", n=LARGE_N, mode="batched"):
+                pass
+        elapsed = time.perf_counter() - start
+    finally:
+        tracer.enabled = was_enabled
+    return elapsed / NOOP_SPAN_ITERS
+
+
 def measure():
     sequential_s = _profile_large("sequential", "interpreted")
     batched_s = _profile_large("batched", "interpreted")
@@ -95,6 +131,8 @@ def measure():
     fw = ReductionFramework(op="add", cache=ProfileCache())
     cold_s = _sweep(fw)
     warm_s = _sweep(fw)  # same framework: every profile now cached
+
+    noop_span_s = _noop_tracer_overhead()
 
     stats = fw.cache.stats
     return {
@@ -124,6 +162,11 @@ def measure():
             "speedup": round(cold_s / warm_s, 2),
             "cache": stats.as_dict(),
         },
+        "observability": {
+            "noop_span_ns": round(noop_span_s * 1e9, 1),
+            "iters": NOOP_SPAN_ITERS,
+            "ceiling_ns": NOOP_SPAN_CEILING_S * 1e9,
+        },
     }
 
 
@@ -150,6 +193,9 @@ def test_simperf_snapshot(benchmark):
             f" x {len(data['sweep_sizes'])} sizes:",
             f"    cold {sweep['cold_s']:.3f}s   warm {sweep['warm_s']:.3f}s"
             f"   ({sweep['speedup']:.1f}x)",
+            f"  disabled tracer: "
+            f"{data['observability']['noop_span_ns']:.0f}ns per span "
+            f"(ceiling {data['observability']['ceiling_ns']:.0f}ns)",
             f"  [snapshot written to {SNAPSHOT_PATH.name}]",
         ],
     )
@@ -164,3 +210,8 @@ def test_simperf_snapshot(benchmark):
     assert sweep["speedup"] >= 1.2, "warm-cache sweep must still beat cold"
     cache = sweep["cache"]
     assert cache["time_saved_s"] >= cache["compute_time_s"]
+    noop_ns = data["observability"]["noop_span_ns"]
+    assert noop_ns < NOOP_SPAN_CEILING_S * 1e9, (
+        f"disabled tracer costs {noop_ns:.0f}ns per span — the no-op "
+        f"fast path regressed (ceiling {NOOP_SPAN_CEILING_S * 1e9:.0f}ns)"
+    )

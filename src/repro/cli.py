@@ -8,11 +8,14 @@ Commands:
 * ``reduce``    — run a reduction on random data on the simulator;
 * ``time``      — modelled wall times across architectures;
 * ``tune``      — sweep tunable parameters for one version;
-* ``cache``     — inspect or clear the unified profile cache.
+* ``cache``     — inspect or clear the unified profile cache;
+* ``trace``     — run any command with tracing on, write a Chrome trace;
+* ``stats``     — dump the metrics-registry snapshot.
 
 Set ``REPRO_CACHE_DIR`` to persist profiles on disk across invocations;
 ``--cache-stats`` on ``time``/``tune`` prints hit/miss/time-saved
-statistics for the invocation.
+statistics for the invocation. Set ``REPRO_TRACE=<path>`` to trace any
+invocation (or any library use) without the ``trace`` verb.
 """
 
 from __future__ import annotations
@@ -28,6 +31,22 @@ def _add_common(parser):
         "--op", choices=("add", "max", "min"), default="add",
         help="reduction operator (default: add)",
     )
+
+
+def _add_size(parser):
+    """Input size: positional (``reduce 1000``) or ``-n`` (``reduce -n
+    1000``) — the option form reads naturally under the ``trace`` verb."""
+    parser.add_argument("n", type=int, nargs="?", default=None,
+                        help="input size (elements)")
+    parser.add_argument("-n", "--size", type=int, dest="n_opt", default=None,
+                        help="input size (alternative to the positional)")
+
+
+def _resolve_size(args, parser) -> None:
+    if args.n is None:
+        args.n = args.n_opt
+    if args.n is None:
+        parser.error(f"{args.command}: input size required (positional or -n)")
 
 
 def _engine_spec(value: str) -> str:
@@ -194,6 +213,45 @@ def cmd_cache(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    from .obs import enable_tracing, text_summary
+
+    if not args.rest:
+        print("usage: repro trace [--out PATH] <command ...>", file=sys.stderr)
+        return 2
+    if args.rest[0] == "trace":
+        print("repro trace: cannot nest trace invocations", file=sys.stderr)
+        return 2
+    tracer = enable_tracing()
+    # This verb writes the trace itself; clearing ``path`` disarms the
+    # REPRO_TRACE atexit hook so the file is never written twice.
+    tracer.path = None
+    inner = _dispatch_args(build_parser(), args.rest)
+    try:
+        code = inner.func(inner)
+    finally:
+        count = tracer.export_chrome(args.out)
+        print(f"[trace] {count} spans -> {args.out}"
+              + (f" ({tracer.dropped} dropped)" if tracer.dropped else ""))
+        for line in text_summary(tracer.spans):
+            print(f"[trace] {line}")
+    return code
+
+
+def cmd_stats(args) -> int:
+    from .obs import default_metrics
+
+    metrics = default_metrics()
+    if args.json:
+        import json
+
+        print(json.dumps(metrics.snapshot(), indent=2, default=str))
+    else:
+        for line in metrics.summary_lines():
+            print(line)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -220,7 +278,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("reduce", help="run a reduction on random data")
     _add_common(p)
-    p.add_argument("n", type=int)
+    _add_size(p)
     p.add_argument("--version", default="p")
     p.add_argument("--block", type=int, default=None)
     p.add_argument("--grid", type=int, default=None)
@@ -234,7 +292,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("time", help="modelled times across architectures")
     _add_common(p)
-    p.add_argument("n", type=int)
+    _add_size(p)
     p.add_argument("--versions", default=None,
                    help="comma-separated labels (default: m,n,p,b)")
     p.add_argument("--engine", default="auto", type=_engine_spec,
@@ -246,7 +304,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("tune", help="sweep tunables for one version")
     _add_common(p)
-    p.add_argument("n", type=int)
+    _add_size(p)
     p.add_argument("--version", default="b")
     p.add_argument("--arch", default="kepler",
                    choices=("kepler", "maxwell", "pascal"))
@@ -262,12 +320,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--clear", action="store_true",
                    help="drop every cached profile (memory + disk)")
     p.set_defaults(func=cmd_cache)
+
+    p = sub.add_parser(
+        "trace",
+        help="run any repro command with tracing on, write a Chrome trace",
+        description=(
+            "Wrap any other repro command, e.g. 'repro trace reduce -n "
+            "1000000'. Writes a Chrome trace_event JSON (open it in "
+            "chrome://tracing or https://ui.perfetto.dev) and prints a "
+            "per-span summary."
+        ),
+    )
+    p.add_argument("--out", default="trace.json",
+                   help="output path for the Chrome trace (default: "
+                        "trace.json)")
+    p.add_argument("rest", nargs=argparse.REMAINDER,
+                   help="the repro command to run under tracing")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "stats", help="dump the observability metrics snapshot"
+    )
+    p.add_argument("--json", action="store_true",
+                   help="emit the full snapshot as JSON")
+    p.set_defaults(func=cmd_stats)
     return parser
+
+
+def _dispatch_args(parser, argv):
+    """Parse ``argv`` and normalize post-parse derived fields."""
+    args = parser.parse_args(argv)
+    if hasattr(args, "n_opt"):
+        _resolve_size(args, parser)
+    return args
 
 
 def main(argv=None) -> int:
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = _dispatch_args(parser, argv)
     return args.func(args)
 
 

@@ -193,17 +193,28 @@ def build_plan_cached(
     # Imported lazily: codegen must stay importable without dragging in
     # the simulator (and gpusim must never import codegen at top level).
     from ..gpusim import analyze_batchability, compile_kernel
+    from ..obs import get_tracer
     from ..perf import default_plan_cache
 
     cache = default_plan_cache()
     key = plan_key(pre, version, n, tunables)
     plan = cache.get(key)
     if plan is None:
+        tracer = get_tracer()
         start = time.perf_counter()
-        plan = build_plan(pre, version, n, tunables)
-        for step in plan.kernel_steps():
-            compile_kernel(step.kernel)
-            analyze_batchability(step.kernel)
+        with tracer.span(
+            "plan.build", version=version.identifier, n=int(n)
+        ) as span:
+            plan = build_plan(pre, version, n, tunables)
+            span.set(name_=plan.name, steps=len(plan.steps))
+        with tracer.span(
+            "plan.compile", version=version.identifier, n=int(n)
+        ) as span:
+            traces = 0
+            for step in plan.kernel_steps():
+                traces += len(compile_kernel(step.kernel).trace)
+                analyze_batchability(step.kernel)
+            span.set(closures=traces)
         cache.put(key, plan, cost_s=time.perf_counter() - start)
     return plan
 

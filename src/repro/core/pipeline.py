@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 from ..lang import AnalyzedProgram, ast
 from ..lang.errors import TransformError
+from ..obs import get_tracer
 from .atomics_global import (
     GlobalAtomicResult,
     apply_global_atomic,
@@ -100,22 +101,28 @@ def preprocess(
     ``unroll=True`` additionally runs the loop-unrolling pass (the
     future-work item of Section III-A) over every cooperative variant.
     """
-    op = infer_reduction_op(analyzed, spectrum)
+    tracer = get_tracer()
+    with tracer.span("pass.planner", spectrum=spectrum):
+        op = infer_reduction_op(analyzed, spectrum)
     result = PreprocessResult(analyzed=analyzed, spectrum=spectrum, reduction_op=op)
     result.log.append(f"planner: spectrum {spectrum!r} reduces with op {op!r}")
 
     _build_coop_variants(analyzed, spectrum, result)
     _build_compound_variants(analyzed, spectrum, result)
     if unroll:
-        for key, variant in result.coop.items():
-            unrolled = apply_unroll(variant.codelet)
-            if unrolled.loops_unrolled:
-                variant.codelet = unrolled.codelet
-                variant.unrolled = True
-                result.log.append(
-                    f"unroll pass on {key}: {unrolled.loops_unrolled} loop(s), "
-                    f"{unrolled.iterations_expanded} iterations expanded"
-                )
+        with tracer.span("pass.unroll", spectrum=spectrum) as span:
+            expanded = 0
+            for key, variant in result.coop.items():
+                unrolled = apply_unroll(variant.codelet)
+                if unrolled.loops_unrolled:
+                    variant.codelet = unrolled.codelet
+                    variant.unrolled = True
+                    expanded += unrolled.iterations_expanded
+                    result.log.append(
+                        f"unroll pass on {key}: {unrolled.loops_unrolled} loop(s), "
+                        f"{unrolled.iterations_expanded} iterations expanded"
+                    )
+            span.set(iterations_expanded=expanded)
     return result
 
 
@@ -138,11 +145,13 @@ def _atomic_coop_codelets(analyzed: AnalyzedProgram, spectrum: str) -> list:
 
 
 def _build_coop_variants(analyzed, spectrum, result) -> None:
+    tracer = get_tracer()
     base = _base_coop_codelet(analyzed, spectrum)
     result.coop["V"] = CoopVariant(key="V", codelet=base.codelet.clone())
     result.log.append(f"coop variant V from {base.display_name!r}")
 
-    shuffled = apply_shuffle(base.codelet)
+    with tracer.span("pass.shuffle", target="V"):
+        shuffled = apply_shuffle(base.codelet)
     if shuffled.rewrites:
         result.coop["VS"] = CoopVariant(
             key="VS",
@@ -157,7 +166,8 @@ def _build_coop_variants(analyzed, spectrum, result) -> None:
         )
 
     for info in _atomic_coop_codelets(analyzed, spectrum):
-        rewritten = apply_shared_atomics(info.codelet)
+        with tracer.span("pass.shared_atomics", target=info.display_name):
+            rewritten = apply_shared_atomics(info.codelet)
         n_arrays = sum(1 for s in info.shared if not s.atomic)
         key = "VA2" if n_arrays else "VA1"
         atomic_ops = set(rewritten.atomic_symbols.values())
@@ -177,7 +187,8 @@ def _build_coop_variants(analyzed, spectrum, result) -> None:
             f"{info.display_name!r} -> variant {key}"
         )
         if key == "VA1":
-            aggregated = apply_warp_aggregation(rewritten.codelet)
+            with tracer.span("pass.warp_aggregation", target=key):
+                aggregated = apply_warp_aggregation(rewritten.codelet)
             if aggregated.rewrites:
                 result.coop["VA1A"] = CoopVariant(
                     key="VA1A",
@@ -191,7 +202,8 @@ def _build_coop_variants(analyzed, spectrum, result) -> None:
                     f"aggregated per warp -> variant VA1A"
                 )
         if key == "VA2":
-            both = apply_shuffle(rewritten.codelet)
+            with tracer.span("pass.shuffle", target=key):
+                both = apply_shuffle(rewritten.codelet)
             if both.rewrites:
                 result.coop["VA2S"] = CoopVariant(
                     key="VA2S",
@@ -209,11 +221,13 @@ def _build_coop_variants(analyzed, spectrum, result) -> None:
 
 
 def _build_compound_variants(analyzed, spectrum, result) -> None:
+    tracer = get_tracer()
     for info in analyzed.spectrum(spectrum):
         if info.kind != "compound":
             continue
-        atomic = apply_global_atomic(info, analyzed, atomic=True)
-        non_atomic = apply_global_atomic(info, analyzed, atomic=False)
+        with tracer.span("pass.global_atomics", target=info.display_name):
+            atomic = apply_global_atomic(info, analyzed, atomic=True)
+            non_atomic = apply_global_atomic(info, analyzed, atomic=False)
         pattern = atomic.pattern
         result.compound[pattern] = CompoundVariants(
             tag=info.codelet.tag or pattern,

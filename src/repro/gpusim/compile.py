@@ -451,6 +451,14 @@ def compile_kernel(kernel) -> CompiledKernel:
     (see :func:`repro.codegen.synthesize.build_plan_cached`), so every
     launch, block and batch chunk of a cached plan shares one trace.
     """
-    return memoize_by_identity(
-        _COMPILE_MEMO, kernel, lambda k: _KernelCompiler(k).compile()
-    )
+    return memoize_by_identity(_COMPILE_MEMO, kernel, _compile_fresh)
+
+
+def _compile_fresh(kernel) -> CompiledKernel:
+    from ..obs import default_metrics  # runtime import: obs is standalone
+
+    compiled = _KernelCompiler(kernel).compile()
+    metrics = default_metrics()
+    metrics.inc("compile.kernels")
+    metrics.observe("compile.trace_len", len(compiled.trace))
+    return compiled

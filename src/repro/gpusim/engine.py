@@ -49,6 +49,7 @@ import weakref
 
 import numpy as np
 
+from ..obs import default_metrics, get_tracer
 from ..vir.instructions import (
     AtomGlobal,
     AtomShared,
@@ -410,41 +411,76 @@ class Executor:
             from .compile import compile_kernel  # lazy: avoids import cycle
 
             trace = compile_kernel(kernel).trace
-        atomic_addr_counts = {}
-        if mode == "batched":
-            batch = max(1, self.BATCH_LANES // max(1, step.block))
-            for start in range(0, len(block_ids), batch):
-                chunk = _BatchedRun(
-                    self,
-                    step,
-                    block_ids[start : start + batch],
-                    profile.events,
-                    atomic_addr_counts,
-                    trace=trace,
-                )
-                chunk.run()
-        else:
-            for block_id in block_ids:
-                block = _BlockRun(
-                    self,
-                    step,
-                    int(block_id),
-                    profile.events,
-                    atomic_addr_counts,
-                    trace=trace,
-                )
-                block.run()
+        with get_tracer().span(
+            "exec.launch",
+            kernel=kernel.name,
+            grid=step.grid,
+            block=step.block,
+            mode=mode,
+            backend=self.backend,
+            sampled_blocks=profile.sampled_blocks,
+        ) as span:
+            atomic_addr_counts = {}
+            if mode == "batched":
+                batch = max(1, self.BATCH_LANES // max(1, step.block))
+                for start in range(0, len(block_ids), batch):
+                    chunk = _BatchedRun(
+                        self,
+                        step,
+                        block_ids[start : start + batch],
+                        profile.events,
+                        atomic_addr_counts,
+                        trace=trace,
+                    )
+                    chunk.run()
+            else:
+                for block_id in block_ids:
+                    block = _BlockRun(
+                        self,
+                        step,
+                        int(block_id),
+                        profile.events,
+                        atomic_addr_counts,
+                        trace=trace,
+                    )
+                    block.run()
 
-        executed_blocks = profile.sampled_blocks or step.grid
-        profile.events["blocks"] = executed_blocks
-        profile.events["threads"] = executed_blocks * step.block
-        profile.events["warps"] = executed_blocks * profile.warps_per_block
+            executed_blocks = profile.sampled_blocks or step.grid
+            profile.events["blocks"] = executed_blocks
+            profile.events["threads"] = executed_blocks * step.block
+            profile.events["warps"] = executed_blocks * profile.warps_per_block
 
-        if atomic_addr_counts:
-            profile.events["atom.global.max_same_addr"] = max(
-                atomic_addr_counts.values()
-            )
+            if atomic_addr_counts:
+                profile.events["atom.global.max_same_addr"] = (
+                    self._launch_max_same_addr(atomic_addr_counts, profile, step)
+                )
+            span.set(events={k: int(v) for k, v in profile.events.items()})
+        metrics = default_metrics()
+        metrics.inc(f"exec.launch.{mode}")
+        metrics.inc_many(profile.events, prefix="sim.")
         return profile
+
+    @staticmethod
+    def _launch_max_same_addr(atomic_addr_counts, profile, step) -> int:
+        """Launch-wide max atomic ops on one address, from the executed
+        blocks' per-address ``[ops, first_block, cross_block]`` tallies.
+
+        A *max* is not additive across blocks, so sampled launches must
+        not be linearly extrapolated after the fact (see
+        :meth:`StepProfile.scaled`). Instead the extrapolation happens
+        here, per address, and only where it is justified: an address
+        hit by **multiple** sampled blocks (the per-block final combine
+        hitting ``out[0]``) grows with the grid, while an address owned
+        by a single block keeps its measured count.
+        """
+        sampled = profile.sampled_blocks
+        if sampled and sampled < step.grid:
+            factor = step.grid / sampled
+            return int(round(max(
+                ops * factor if cross_block else ops
+                for ops, _first, cross_block in atomic_addr_counts.values()
+            )))
+        return max(ops for ops, _first, _cross in atomic_addr_counts.values())
 
 
 class _BlockRun:
@@ -879,9 +915,17 @@ class _BlockRun:
         self.events["atom.global.ops"] += int(mask.sum())
         counts = self.atomic_addr_counts
         if len(counts) <= _ATOMIC_TRACK_CAP:
+            block_id = self.block_id
             for address in idx[mask]:
                 key = (instr.buf, int(address))
-                counts[key] = counts.get(key, 0) + 1
+                entry = counts.get(key)
+                if entry is None:
+                    # [ops, first block to touch, touched cross-block]
+                    counts[key] = [1, block_id, False]
+                else:
+                    entry[0] += 1
+                    if entry[1] != block_id:
+                        entry[2] = True
 
     # -- shuffles -----------------------------------------------------------
 
@@ -1449,12 +1493,21 @@ class _BatchedRun:
             row_mask = mask[row]
             if not row_mask.any():
                 continue
+            block_id = int(self.block_ids[row])
             addresses, per_addr = np.unique(
                 idx[row][row_mask], return_counts=True
             )
             for address, count in zip(addresses.tolist(), per_addr.tolist()):
                 key = (instr.buf, int(address))
-                counts[key] = counts.get(key, 0) + count
+                entry = counts.get(key)
+                if entry is None:
+                    # [ops, first block to touch, touched cross-block];
+                    # rows are block-ascending like the sequential engine.
+                    counts[key] = [count, block_id, False]
+                else:
+                    entry[0] += count
+                    if entry[1] != block_id:
+                        entry[2] = True
 
     # -- shuffles -----------------------------------------------------------
 

@@ -60,10 +60,14 @@ class StepProfile:
         scaled = Counter()
         for key, value in self.events.items():
             if key == "atom.global.max_same_addr":
-                # Per-address totals grow with the number of blocks only if
-                # every block hits the same address, which the executor
-                # already accounts for when it records this key.
-                scaled[key] = value * factor
+                # A launch-wide *max* is not additive across blocks, so
+                # linear extrapolation by the sampling factor is wrong
+                # (it would inflate block-private atomic traffic by the
+                # grid size). The executor already extrapolates
+                # cross-block same-address totals when it records this
+                # key (see Executor._launch_max_same_addr); carry it
+                # through unscaled.
+                scaled[key] = value
             else:
                 scaled[key] = value * factor
         scaled["blocks"] = self.grid

@@ -68,23 +68,61 @@ def _profile_spec(spec):
     return profile, num_memsets, time.perf_counter() - start
 
 
+def _profile_spec_traced(spec):
+    """Process-pool entry point: ``_profile_spec`` plus the spans the
+    worker recorded, shipped back as dicts so the parent can merge them
+    into its own trace (``time.perf_counter`` is CLOCK_MONOTONIC on
+    Linux, so forked-worker timestamps line up with the parent's).
+    """
+    from ..obs import get_tracer
+
+    with get_tracer().capture() as captured:
+        result = _profile_spec(spec)
+    return result + ([span.as_dict() for span in captured],)
+
+
 def map_profiles(specs, max_workers=None):
     """Profile every spec, in parallel when it pays off.
 
     Returns results aligned with ``specs`` (deterministic order). Falls
-    back transparently: processes → threads → serial.
+    back transparently: processes → threads → serial. Worker spans are
+    merged into the parent trace in submission order under synthetic
+    ``worker-<k>`` thread ids (process pools only — thread pools share
+    the parent tracer, so their spans are already recorded).
     """
+    from ..obs import default_metrics, get_tracer
+
     specs = list(specs)
+    metrics = default_metrics()
+    metrics.observe("pool.fanout", len(specs))
     workers = resolve_workers(max_workers)
     if workers <= 1 or len(specs) < MIN_PARALLEL_SPECS:
+        metrics.inc("pool.serial")
         return [_profile_spec(spec) for spec in specs]
     workers = min(workers, len(specs))
+    from concurrent.futures import ProcessPoolExecutor
+
     for pool_cls in _pool_classes():
+        is_process = issubclass(pool_cls, ProcessPoolExecutor)
+        entry = _profile_spec_traced if is_process else _profile_spec
         try:
             with pool_cls(max_workers=workers) as pool:
-                return list(pool.map(_profile_spec, specs))
+                results = list(pool.map(entry, specs))
         except Exception:
             continue
+        metrics.inc("pool.parallel")
+        if is_process:
+            from ..obs.export import WORKER_TID_BASE
+
+            tracer = get_tracer()
+            stripped = []
+            for index, item in enumerate(results):
+                *result, spans = item
+                tracer.merge(spans, tid=WORKER_TID_BASE + index % workers)
+                stripped.append(tuple(result))
+            results = stripped
+        return results
+    metrics.inc("pool.serial")
     return [_profile_spec(spec) for spec in specs]
 
 

@@ -48,6 +48,7 @@ from ..gpusim import (
     parse_engine_spec,
     plan_time,
 )
+from ..obs import default_metrics, get_tracer
 from ..perf import ProfileCache, content_key, default_cache, map_profiles
 from ..vir import MemsetStep
 
@@ -67,8 +68,11 @@ def _frontend(op: str, ctype: str, unroll: bool):
     with _frontend_lock:
         entry = _FRONTEND_MEMO.get(key)
         if entry is None:
-            analyzed = load_reduction_program(op, ctype)
-            entry = (analyzed, preprocess(analyzed, unroll=unroll))
+            with get_tracer().span(
+                "frontend.load", op=op, ctype=ctype, unroll=unroll
+            ):
+                analyzed = load_reduction_program(op, ctype)
+                entry = (analyzed, preprocess(analyzed, unroll=unroll))
             _FRONTEND_MEMO[key] = entry
         return entry
 
@@ -209,14 +213,17 @@ class ReductionFramework:
         if entry is not None:
             return entry
         start = time.perf_counter()
-        plan = build_plan_cached(self.pre, resolved, n, tunables)
-        profile = _profile_plan(
-            plan,
-            n,
-            sample_limit,
-            mode=self.engine_mode,
-            backend=self.engine_backend,
-        )
+        with get_tracer().span(
+            "sweep.point", version=resolved.identifier, n=int(n)
+        ):
+            plan = build_plan_cached(self.pre, resolved, n, tunables)
+            profile = _profile_plan(
+                plan,
+                n,
+                sample_limit,
+                mode=self.engine_mode,
+                backend=self.engine_backend,
+            )
         num_memsets = sum(
             1 for step in plan.steps if isinstance(step, MemsetStep)
         )
@@ -250,7 +257,10 @@ class ReductionFramework:
             for index, key in enumerate(keys)
             if key not in self.cache
         ]
-        if len(missing) > 1:
+        # Every miss — including a single one — goes through map_profiles,
+        # so cost_s accounting and metrics are identical whether the pool
+        # ran in parallel, serially, or for exactly one spec.
+        if missing:
             worker_specs = [
                 (
                     self.op,
@@ -269,6 +279,9 @@ class ReductionFramework:
                     self.cache.put(
                         keys[index], (profile, num_memsets), cost_s=cost_s
                     )
+        metrics = default_metrics()
+        metrics.inc("sweep.points", len(resolved))
+        metrics.inc("sweep.misses", len(missing))
         return [
             self.profile(version, n, tunables, sample_limit)
             for version, n, tunables in resolved
@@ -285,7 +298,15 @@ class ReductionFramework:
         """Modelled wall time (seconds) of one version on one architecture."""
         arch = _resolve_arch(arch)
         profile, num_memsets = self.profile(version, n, tunables, sample_limit)
-        return plan_time(profile, arch, num_memsets=num_memsets)
+        with get_tracer().span(
+            "timing.model",
+            arch=arch.name,
+            version=self.resolve(version).identifier,
+            n=int(n),
+        ) as span:
+            seconds = plan_time(profile, arch, num_memsets=num_memsets)
+            span.set(seconds=seconds)
+        return seconds
 
     def best_version(
         self,

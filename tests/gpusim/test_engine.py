@@ -345,6 +345,75 @@ class TestPlansAndSampling:
         # every thread issues one atomic; 4 sampled blocks scale to 64
         assert scaled["atom.global.ops"] == pytest.approx(n, rel=0.01)
 
+    def test_sampled_cross_block_max_same_addr_extrapolates(self):
+        """Every block hits out[0] (the final-combine pattern): the
+        sampled per-address total must extrapolate to the full grid."""
+        b = IRBuilder()
+        tid = b.special("tid")
+        z = b.binop("eq", tid, 0)
+        with b.if_(z):
+            b.atom_global("add", "out", 0, Imm(1.0))
+        kernel = Kernel("combine", buffers=["out"], body=b.finish())
+        device = Device()
+        device.alloc("out", 1)
+        _, profile = run_kernel(kernel, grid=64, block=32,
+                                buffers={"out": "out"}, device=device,
+                                sample_limit=4)
+        assert profile.sampled_blocks == 4
+        # 4 sampled blocks x 1 op on out[0], shared cross-block ->
+        # extrapolated by 64/4 when recorded; scaled() keeps it as-is.
+        assert profile.events["atom.global.max_same_addr"] == 64
+        assert profile.scaled()["atom.global.max_same_addr"] == 64
+
+    def test_sampled_block_private_max_same_addr_not_extrapolated(self):
+        """Each block atomically updates only out[ctaid]: the per-address
+        count is grid-independent and must NOT grow with the sampling
+        factor (the old linear scaling inflated it ~grid/sample times)."""
+        b = IRBuilder()
+        ctaid = b.special("ctaid")
+        b.atom_global("add", "out", ctaid, Imm(1.0))
+        kernel = Kernel("private", buffers=["out"], body=b.finish())
+        device = Device()
+        device.alloc("out", 64)
+        _, profile = run_kernel(kernel, grid=64, block=32,
+                                buffers={"out": "out"}, device=device,
+                                sample_limit=4)
+        assert profile.sampled_blocks == 4
+        # 32 lanes per block on one private address, in every block.
+        assert profile.events["atom.global.max_same_addr"] == 32
+        assert profile.scaled()["atom.global.max_same_addr"] == 32
+        # The additive counter still extrapolates: 4 x 32 -> 64 x 32.
+        assert profile.scaled()["atom.global.ops"] == 64 * 32
+
+    @pytest.mark.parametrize("pattern", ["cross", "private"])
+    def test_sampled_max_same_addr_identical_across_engines(self, pattern):
+        """Batched and sequential engines must agree on the recorded
+        counter for both atomic-address populations, sampled or not."""
+        b = IRBuilder()
+        if pattern == "cross":
+            tid = b.special("tid")
+            z = b.binop("eq", tid, 0)
+            with b.if_(z):
+                b.atom_global("add", "out", 0, Imm(1.0))
+        else:
+            ctaid = b.special("ctaid")
+            b.atom_global("add", "out", ctaid, Imm(1.0))
+        kernel = Kernel(f"agree_{pattern}", buffers=["out"], body=b.finish())
+        results = {}
+        for mode in ("batched", "sequential"):
+            for sample_limit in (None, 4):
+                device = Device()
+                device.alloc("out", 64)
+                executor = Executor(device=device, mode=mode)
+                step = KernelStep(kernel, grid=64, block=32,
+                                  buffers={"out": "out"})
+                profile = executor.run_kernel(step, sample_limit=sample_limit)
+                results.setdefault(sample_limit, []).append(
+                    dict(profile.events)
+                )
+        for sample_limit, (batched, sequential) in results.items():
+            assert batched == sequential, f"sample_limit={sample_limit}"
+
     def test_device_errors(self):
         device = Device()
         device.alloc("a", 4)

@@ -41,6 +41,19 @@ class TestStepProfile:
         step = make_step(grid=10, sampled=10, **{"inst.alu": 50})
         assert step.scaled()["inst.alu"] == 50
 
+    def test_sampled_max_same_addr_not_extrapolated(self):
+        """A launch-wide *max* is not additive across blocks: the engine
+        already extrapolated the cross-block population when recording,
+        so scaled() must carry the counter through untouched."""
+        step = make_step(
+            grid=100,
+            sampled=3,
+            **{"atom.global.ops": 9, "atom.global.max_same_addr": 3},
+        )
+        scaled = step.scaled()
+        assert scaled["atom.global.ops"] == 300  # additive: scales
+        assert scaled["atom.global.max_same_addr"] == 3  # max: does not
+
     def test_event_key_registry_covers_engine_counters(self):
         # keep the documented key list in sync with what profiles contain
         for key in ("inst.alu", "mem.global.bytes", "atom.shared.ops",

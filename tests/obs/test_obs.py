@@ -1,0 +1,311 @@
+"""Unit tests for the tracing + metrics subsystem (:mod:`repro.obs`)."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    Span,
+    Tracer,
+    chrome_trace_events,
+    default_metrics,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    text_summary,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.export import WORKER_TID_BASE
+from repro.obs.tracer import _NULL_SPAN
+
+
+class TestDisabledFastPath:
+    def test_disabled_span_is_shared_noop(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.span("anything", n=1)
+        assert span is _NULL_SPAN
+        assert tracer.span("other") is span  # one singleton, no allocation
+        with span as s:
+            s.set(ignored=True)
+        assert tracer.spans == []
+
+    def test_disabled_instant_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.instant("tick", i=1)
+        assert tracer.spans == []
+
+
+class TestEnabledSpans:
+    def test_span_records_timing_and_args(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("work", n=42) as span:
+            span.set(extra="yes")
+        (recorded,) = tracer.spans
+        assert recorded.name == "work"
+        assert recorded.args == {"n": 42, "extra": "yes"}
+        assert recorded.dur >= 0
+        assert recorded.ts > 0
+
+    def test_nesting_depth(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        by_name = {s.name: s for s in tracer.spans}
+        assert by_name["outer"].depth == 0
+        assert by_name["inner"].depth == 1
+
+    def test_exception_records_error_attr_and_propagates(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("x")
+        (span,) = tracer.spans
+        assert span.args["error"] == "ValueError"
+
+    def test_thread_ids_are_stable_small_ints(self):
+        tracer = Tracer(enabled=True)
+
+        def work():
+            with tracer.span("t"):
+                pass
+
+        threads = [threading.Thread(target=work) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        with tracer.span("main"):
+            pass
+        tids = {s.tid for s in tracer.spans}
+        assert tids <= set(range(4))
+
+    def test_max_spans_bound_counts_dropped(self):
+        tracer = Tracer(enabled=True, max_spans=2)
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        assert len(tracer.spans) == 2
+        assert tracer.dropped == 3
+        tracer.clear()
+        assert tracer.spans == [] and tracer.dropped == 0
+
+
+class TestCaptureAndMerge:
+    def test_capture_collects_only_inner_spans(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("before"):
+            pass
+        with tracer.capture() as captured:
+            with tracer.span("inside"):
+                pass
+        with tracer.span("after"):
+            pass
+        assert [s.name for s in captured] == ["inside"]
+        assert len(tracer.spans) == 3  # capture does not steal spans
+
+    def test_merge_remaps_tid_and_round_trips(self):
+        worker = Tracer(enabled=True)
+        with worker.capture() as captured:
+            with worker.span("worker.op", i=7):
+                pass
+        shipped = [s.as_dict() for s in captured]
+        parent = Tracer(enabled=True)
+        parent.merge(shipped, tid=WORKER_TID_BASE + 3)
+        (merged,) = parent.spans
+        assert merged.name == "worker.op"
+        assert merged.tid == WORKER_TID_BASE + 3
+        assert merged.args == {"i": 7}
+
+    def test_merge_respects_max_spans(self):
+        parent = Tracer(enabled=True, max_spans=1)
+        spans = [Span(f"s{i}", ts=float(i)).as_dict() for i in range(3)]
+        parent.merge(spans)
+        assert len(parent.spans) == 1
+        assert parent.dropped == 2
+
+
+class TestExporters:
+    def _spans(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("a.one", n=1):
+            with tracer.span("b.two"):
+                pass
+        tracer.merge(
+            [Span("c.worker", ts=1.0, dur=0.5).as_dict()],
+            tid=WORKER_TID_BASE,
+        )
+        return tracer.spans
+
+    def test_chrome_events_structure(self):
+        events = chrome_trace_events(self._spans())
+        xs = [e for e in events if e["ph"] == "X"]
+        metas = [e for e in events if e["ph"] == "M"]
+        assert {e["name"] for e in xs} == {"a.one", "b.two", "c.worker"}
+        for event in xs:
+            assert event["ts"] >= 0 and event["dur"] >= 0
+            assert event["cat"] == event["name"].split(".")[0]
+        thread_names = {
+            e["tid"]: e["args"]["name"]
+            for e in metas
+            if e["name"] == "thread_name"
+        }
+        assert thread_names[WORKER_TID_BASE] == "worker-0"
+        assert 0 in thread_names  # main thread named
+
+    def test_chrome_events_empty(self):
+        assert chrome_trace_events([]) == []
+
+    def test_write_chrome_trace_valid_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(self._spans(), path)
+        data = json.loads(path.read_text())
+        assert data["displayTimeUnit"] == "ms"
+        assert len(data["traceEvents"]) > 0
+
+    def test_write_jsonl_one_object_per_span(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        spans = self._spans()
+        write_jsonl(spans, path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == len(spans)
+        parsed = [json.loads(line) for line in lines]
+        assert {p["name"] for p in parsed} == {s.name for s in spans}
+
+    def test_text_summary_aggregates_per_name(self):
+        tracer = Tracer(enabled=True)
+        for _ in range(3):
+            with tracer.span("x.op"):
+                pass
+        lines = text_summary(tracer.spans)
+        assert any("x.op" in line and "3" in line for line in lines)
+        assert text_summary([]) == ["(no spans recorded)"]
+
+    def test_numpy_args_serializable(self, tmp_path):
+        import numpy as np
+
+        tracer = Tracer(enabled=True)
+        with tracer.span("np", value=np.int64(7), arr=np.float32(1.5)):
+            pass
+        path = tmp_path / "np.json"
+        write_chrome_trace(tracer.spans, path)
+        event = [
+            e for e in json.loads(path.read_text())["traceEvents"]
+            if e["ph"] == "X"
+        ][0]
+        assert event["args"]["value"] == 7
+
+
+class TestSingleton:
+    def test_enable_disable_mutate_in_place(self):
+        tracer = get_tracer()
+        was_enabled, old_path = tracer.enabled, tracer.path
+        try:
+            enabled = enable_tracing()
+            assert enabled is tracer and tracer.enabled
+            disabled = disable_tracing()
+            assert disabled is tracer and not tracer.enabled
+        finally:
+            tracer.enabled, tracer.path = was_enabled, old_path
+
+    def test_default_metrics_is_singleton(self):
+        assert default_metrics() is default_metrics()
+
+
+class TestMetricsRegistry:
+    def test_counters(self):
+        m = MetricsRegistry()
+        m.inc("a")
+        m.inc("a", 4)
+        m.inc_many({"x": 2, "y": 3}, prefix="sim.")
+        assert m.counter("a") == 5
+        assert m.counter("sim.x") == 2
+        assert m.counter("missing") == 0
+
+    def test_gauges_and_histograms(self):
+        m = MetricsRegistry()
+        m.gauge("g", 1.5)
+        for value in (1, 2, 4, 100):
+            m.observe("h", value)
+        snap = m.snapshot(include_caches=False)
+        assert snap["gauges"]["g"] == 1.5
+        hist = snap["histograms"]["h"]
+        assert hist["count"] == 4
+        assert hist["min"] == 1 and hist["max"] == 100
+        assert hist["mean"] == pytest.approx(107 / 4)
+        assert sum(hist["buckets"].values()) == 4
+
+    def test_snapshot_json_serializable_with_caches(self):
+        m = MetricsRegistry()
+        m.inc("c")
+        snap = m.snapshot(include_caches=True)
+        encoded = json.loads(json.dumps(snap))
+        assert encoded["counters"]["c"] == 1
+        assert "profile" in encoded["caches"]
+        assert "plan" in encoded["caches"]
+        for section in ("profile", "plan"):
+            assert "hits" in encoded["caches"][section]
+            assert "entries" in encoded["caches"][section]
+
+    def test_summary_lines_cover_everything(self):
+        m = MetricsRegistry()
+        m.inc("count.me")
+        m.gauge("gauge.me", 2)
+        m.observe("hist.me", 10)
+        lines = "\n".join(m.summary_lines(include_caches=False))
+        for name in ("count.me", "gauge.me", "hist.me"):
+            assert name in lines
+        m.clear()
+        assert m.snapshot(include_caches=False) == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+
+class TestInstrumentationIntegration:
+    def test_pipeline_spans_recorded_when_enabled(self):
+        """Driving the real pipeline under an enabled tracer produces
+        the documented span families (module memos may suppress
+        frontend/plan spans — those are asserted by the subprocess CLI
+        test instead)."""
+        from repro import ReductionFramework
+        from repro.perf import ProfileCache
+
+        tracer = get_tracer()
+        was_enabled = tracer.enabled
+        tracer.enabled = True
+        before = len(tracer.spans)
+        try:
+            fw = ReductionFramework(op="add", cache=ProfileCache())
+            fw.time(4096, "b", "kepler")
+        finally:
+            tracer.enabled = was_enabled
+        new = tracer.spans[before:]
+        names = {s.name for s in new}
+        assert "sweep.point" in names
+        assert "timing.model" in names
+        assert "exec.launch" in names
+        launch = next(s for s in new if s.name == "exec.launch")
+        assert launch.args["backend"] in ("compiled", "interpreted")
+        assert launch.args["grid"] >= 1
+        assert "events" in launch.args
+        assert launch.args["events"].get("threads", 0) > 0
+
+    def test_executor_metrics_counters(self):
+        from repro import ReductionFramework
+        from repro.perf import ProfileCache
+
+        metrics = default_metrics()
+        launches_before = metrics.counter("exec.launch.batched") + (
+            metrics.counter("exec.launch.sequential")
+        )
+        threads_before = metrics.counter("sim.threads")
+        fw = ReductionFramework(op="add", cache=ProfileCache())
+        fw.profile("b", 2048)
+        launches_after = metrics.counter("exec.launch.batched") + (
+            metrics.counter("exec.launch.sequential")
+        )
+        assert launches_after > launches_before
+        assert metrics.counter("sim.threads") > threads_before

@@ -140,6 +140,70 @@ class TestDiskTier:
             np.testing.assert_array_equal(value, np.arange(i + 1))
 
 
+class TestEnvDrivenDiskTier:
+    """The default cache reads ``REPRO_CACHE_DIR`` at first use; these
+    tests swap the singleton for one pointed at a tmp dir and exercise
+    ``disk_info`` / ``clear(disk=True)`` / corrupt-entry handling
+    through that env-driven path."""
+
+    @pytest.fixture
+    def env_cache(self, tmp_path, monkeypatch):
+        import repro.perf.cache as cache_mod
+
+        monkeypatch.setenv(cache_mod.CACHE_DIR_ENV, str(tmp_path))
+        original = cache_mod._default_cache
+        cache_mod._default_cache = None
+        try:
+            yield default_cache(), tmp_path
+        finally:
+            cache_mod._default_cache = original
+
+    def test_env_var_enables_disk_tier(self, env_cache):
+        cache, tmp_path = env_cache
+        assert cache.disk_dir == tmp_path
+        info = cache.disk_info()
+        assert info["dir"] == str(tmp_path)
+        assert info["entries"] == 0 and info["bytes"] == 0
+        cache.put(content_key(kind="env", i=1), {"v": 1})
+        cache.put(content_key(kind="env", i=2), {"v": 2})
+        info = cache.disk_info()
+        assert info["entries"] == 2 and info["bytes"] > 0
+
+    def test_clear_disk_true_empties_both_tiers(self, env_cache):
+        cache, _ = env_cache
+        key = content_key(kind="env", i=3)
+        cache.put(key, "v")
+        cache.clear(memory=True, disk=True)
+        assert len(cache) == 0
+        assert cache.disk_info()["entries"] == 0
+        assert cache.get(key) is None  # neither tier serves it
+
+    def test_corrupted_disk_entry_dropped_and_rewritten(self, env_cache):
+        cache, tmp_path = env_cache
+        key = content_key(kind="env", i=4)
+        cache.put(key, "good")
+        target = next(tmp_path.glob("*.profile.pkl"))
+        target.write_bytes(b"\x80garbage")
+        cache.clear(memory=True, disk=False)  # force the disk path
+        assert cache.get(key) is None  # corrupt file degrades to a miss
+        assert cache.disk_info()["entries"] == 0  # and was unlinked
+        cache.put(key, "fresh")
+        assert cache.disk_info()["entries"] == 1
+        cache.clear(memory=True, disk=False)
+        assert cache.get(key) == "fresh"
+        assert cache.stats.disk_hits == 1
+
+    def test_truncated_disk_entry_is_a_miss(self, env_cache):
+        cache, tmp_path = env_cache
+        key = content_key(kind="env", i=5)
+        cache.put(key, {"payload": list(range(100))})
+        target = next(tmp_path.glob("*.profile.pkl"))
+        blob = target.read_bytes()
+        target.write_bytes(blob[: len(blob) // 2])  # killed mid-write
+        cache.clear(memory=True, disk=False)
+        assert cache.get(key) is None
+
+
 class TestDefaultCache:
     def test_configure_replaces_singleton(self, tmp_path):
         before = default_cache()
@@ -257,3 +321,27 @@ class TestParallelSweep:
         want = serial_fw.best_version(65536, "kepler")
         got = parallel_fw.best_version(65536, "kepler", max_workers=2)
         assert got == want
+
+    def test_single_miss_recorded_like_pooled_misses(self):
+        """A lone missing profile takes the same map_profiles path as a
+        pooled sweep: the store carries a real compute cost, so a later
+        hit credits time_saved the same way."""
+        fw = ReductionFramework(op="add", cache=ProfileCache())
+        spec = ("b", 4096, Tunables(block=64, grid=8))
+        fw.profile_many([spec])
+        assert fw.cache.stats.stores == 1
+        assert fw.cache.stats.compute_time_s > 0
+        fw.profile_many([spec])  # pure hit
+        assert fw.cache.stats.stores == 1
+        assert fw.cache.stats.time_saved_s > 0
+
+    def test_single_miss_matches_direct_profile(self):
+        fw_many = ReductionFramework(op="add", cache=ProfileCache())
+        fw_direct = ReductionFramework(op="add", cache=ProfileCache())
+        spec = ("m", 4096, Tunables(block=64, grid=8))
+        (many_profile, many_memsets), = fw_many.profile_many([spec])
+        direct_profile, direct_memsets = fw_direct.profile(*spec)
+        assert many_memsets == direct_memsets
+        assert [dict(s.events) for s in many_profile.steps] == [
+            dict(s.events) for s in direct_profile.steps
+        ]
