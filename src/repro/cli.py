@@ -8,6 +8,7 @@ Commands:
 * ``reduce``    — run a reduction on random data on the simulator;
 * ``time``      — modelled wall times across architectures;
 * ``tune``      — sweep tunable parameters for one version;
+* ``sanitize``  — race/barrier-divergence sanitizer over the catalog;
 * ``cache``     — inspect or clear the unified profile cache;
 * ``trace``     — run any command with tracing on, write a Chrome trace;
 * ``stats``     — dump the metrics-registry snapshot.
@@ -184,6 +185,56 @@ def cmd_tune(args) -> int:
     return 0
 
 
+def cmd_sanitize(args) -> int:
+    from .sanitize import (
+        check_negatives,
+        format_negative,
+        format_variant,
+        report_json,
+        sweep_catalog,
+    )
+
+    engines = tuple(args.engine.split(","))
+    versions = args.versions.split(",") if args.versions else None
+    ops = (args.op,) if args.op != "all" else ("add", "max", "min")
+    ctypes = (args.ctype,) if args.ctype != "all" else ("float", "int")
+    print(f"sanitizing catalog at n={args.n} "
+          f"(ops={','.join(ops)} ctypes={','.join(ctypes)} "
+          f"engines={','.join(engines)} lint={'on' if args.lint else 'off'})")
+    reports = sweep_catalog(
+        args.n, versions=versions, ops=ops, ctypes=ctypes,
+        engines=engines, lint=args.lint,
+    )
+    for report in reports:
+        for line in format_variant(report):
+            print(line)
+    dirty = [r for r in reports if not r.clean]
+    negative_reports = []
+    if args.negatives:
+        print("negative codelets (each must be flagged):")
+        negative_reports = check_negatives(engines)
+        for report in negative_reports:
+            for line in format_negative(report):
+                print(line)
+    unflagged = [r for r in negative_reports if not r.flagged]
+    if args.json:
+        import json
+
+        with open(args.json, "w") as handle:
+            json.dump(
+                report_json(reports, negative_reports, args.n),
+                handle, indent=2,
+            )
+        print(f"[sanitize] report -> {args.json}")
+    print(
+        f"[sanitize] {len(reports) - len(dirty)}/{len(reports)} variants "
+        f"clean"
+        + (f"; {len(unflagged)}/{len(negative_reports)} negatives "
+           f"unflagged" if negative_reports else "")
+    )
+    return 1 if (dirty or unflagged) else 0
+
+
 def cmd_cache(args) -> int:
     from .perf import default_cache, default_plan_cache
 
@@ -313,6 +364,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-stats", action="store_true",
                    help="print profile-cache statistics afterwards")
     p.set_defaults(func=cmd_tune)
+
+    p = sub.add_parser(
+        "sanitize",
+        help="run the SIMT sanitizer over generated variants",
+        description=(
+            "Execute generated variants under the dynamic race/"
+            "barrier-divergence sanitizer and the static VIR lint. "
+            "Exits non-zero when any stock variant produces a "
+            "diagnostic or any negative codelet goes unflagged."
+        ),
+    )
+    _add_size(p)
+    p.add_argument("--op", choices=("all", "add", "max", "min"),
+                   default="all", help="reduction operator(s) to sweep "
+                   "(default: all)")
+    p.add_argument("--ctype", choices=("all", "float", "int"),
+                   default="all", help="element type(s) to sweep "
+                   "(default: all)")
+    p.add_argument("--versions", default=None,
+                   help="comma-separated Figure 6 labels "
+                        "(default: the full catalog)")
+    p.add_argument("--engine", default=",".join(
+        ("batched-compiled", "sequential-interpreted")),
+        help="comma-separated engine specs to execute under (default: "
+             "batched-compiled,sequential-interpreted)")
+    p.add_argument("--no-lint", dest="lint", action="store_false",
+                   help="skip the static VIR lint pass")
+    p.add_argument("--negatives", action="store_true",
+                   help="also run the deliberately-broken codelets and "
+                        "require each to be flagged")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the full report as JSON")
+    p.set_defaults(func=cmd_sanitize)
 
     p = sub.add_parser(
         "cache", help="inspect or clear the unified profile cache"

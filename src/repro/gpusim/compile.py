@@ -41,7 +41,17 @@ trace splices ``cond_block + trips × (body + cond_block)`` straight-line
 into the parent, which is instruction-for-instruction the interpreter's
 dynamic sequence (a uniform-true condition leaves the active mask equal
 to the entry mask, and the dropped ``active &= cond`` updates produce no
-events or register changes).
+events or register changes). Unrolling also preserves the
+``branch.divergent`` loop accounting bit-for-bit: only *divergent*
+back-edge tests count, and a loop is only unrolled when its condition
+is block-uniform — i.e. provably never divergent — so both backends
+report the same (zero) contribution for it.
+
+Memory, atomic, shuffle and barrier closures all delegate to the run
+state's methods (``_c_method``/``_c_bar``), so the opt-in sanitizer
+hooks (:mod:`repro.sanitize`) and the runtime shfl mode/width
+validation live in exactly one place and cover the compiled backend
+for free.
 
 Results and event counters are bit-identical to the interpreter on every
 kernel; ``tests/gpusim/test_compiled_engine.py`` enforces this

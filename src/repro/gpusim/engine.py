@@ -307,6 +307,13 @@ def analyze_batchability(kernel, device: Device = None):
     return True, "block-uniform"
 
 
+#: Shuffle widths hardware accepts (power-of-two warp segments). The
+#: instruction dataclass validates these at construction; the engines
+#: re-validate at execution time so hand-built or mutated instructions
+#: fail identically under the interpreted and compiled backends.
+_SHFL_WIDTHS = frozenset({1, 2, 4, 8, 16, 32})
+
+
 class Executor:
     """Executes :class:`~repro.vir.program.Plan` objects on a device."""
 
@@ -325,6 +332,7 @@ class Executor:
         loop_cap: int = None,
         mode: str = "auto",
         backend: str = "compiled",
+        sanitizer=None,
     ):
         if mode not in EXECUTION_MODES:
             raise ValueError(
@@ -339,6 +347,11 @@ class Executor:
         self.loop_cap = loop_cap or self.DEFAULT_LOOP_CAP
         self.mode = mode
         self.backend = backend
+        #: Optional :class:`repro.sanitize.Sanitizer`. When set, every
+        #: launch feeds shadow-state hooks (memory accesses, barriers,
+        #: shuffles) from both run states — results and event counters
+        #: are unaffected.
+        self.sanitizer = sanitizer
 
     # -- plan level -----------------------------------------------------
 
@@ -421,6 +434,9 @@ class Executor:
             sampled_blocks=profile.sampled_blocks,
         ) as span:
             atomic_addr_counts = {}
+            san = None
+            if self.sanitizer is not None:
+                san = self.sanitizer.begin_kernel(step, self.device)
             if mode == "batched":
                 batch = max(1, self.BATCH_LANES // max(1, step.block))
                 for start in range(0, len(block_ids), batch):
@@ -431,6 +447,7 @@ class Executor:
                         profile.events,
                         atomic_addr_counts,
                         trace=trace,
+                        san=san,
                     )
                     chunk.run()
             else:
@@ -442,6 +459,7 @@ class Executor:
                         profile.events,
                         atomic_addr_counts,
                         trace=trace,
+                        san=san,
                     )
                     block.run()
 
@@ -487,7 +505,7 @@ class _BlockRun:
     """Execution state of one block (registers, shared memory, masks)."""
 
     def __init__(self, executor, step, block_id, events, atomic_addr_counts,
-                 trace=None):
+                 trace=None, san=None):
         self.executor = executor
         self.device = executor.device
         self.step = step
@@ -498,6 +516,7 @@ class _BlockRun:
         self.events = events
         self.atomic_addr_counts = atomic_addr_counts
         self.trace = trace
+        self.san = san
         self.regs = {}
         self.shared = {
             decl.name: np.zeros(decl.size, dtype=np.float64)
@@ -537,6 +556,20 @@ class _BlockRun:
 
     def _bar(self, mask) -> None:
         self.events["inst.bar"] += 1
+        if self.san is not None:
+            self.san.on_bar(self, mask)
+
+    def _count_loop_divergence(self, before, after) -> None:
+        """A warp diverges at a loop back-edge test when some of its
+        still-active lanes continue and others exit — the same "active
+        lanes take both paths" rule :meth:`_exec_if` applies."""
+        exited = before & ~after
+        if not exited.any() or not after.any():
+            return
+        for warp in np.unique(self._warp_of_lane[before]):
+            lanes = self._warp_of_lane == warp
+            if (after & lanes).any() and (exited & lanes).any():
+                self.events["branch.divergent"] += 1
 
     # -- compiled-trace execution (see repro.gpusim.compile) -----------
 
@@ -578,7 +611,9 @@ class _BlockRun:
         while True:
             self._run_trace(cond_trace, active)
             cond = np.asarray(cond_read(self), dtype=bool)
-            active &= cond
+            staying = active & cond
+            self._count_loop_divergence(active, staying)
+            active = staying
             if not active.any():
                 return
             iterations += 1
@@ -733,7 +768,9 @@ class _BlockRun:
         while True:
             self._exec_body(instr.cond_block, active)
             cond = np.asarray(self._read(instr.cond, active), dtype=bool)
-            active &= cond
+            staying = active & cond
+            self._count_loop_divergence(active, staying)
+            active = staying
             if not active.any():
                 return
             iterations += 1
@@ -790,6 +827,8 @@ class _BlockRun:
     def _ld_global(self, instr, mask) -> None:
         idx = self._global_indices(instr.idx, mask, instr.buf)
         arr = self.device.get(instr.buf)
+        if self.san is not None:
+            self.san.on_mem(self, instr, idx, mask)
         if instr.width == 1:
             value = np.zeros(self.nthreads, dtype=np.float64)
             value[mask] = arr[idx[mask]]
@@ -813,6 +852,8 @@ class _BlockRun:
         idx = self._global_indices(instr.idx, mask, instr.buf)
         src = self._value_array(instr.src, mask)
         arr = self.device.get(instr.buf)
+        if self.san is not None:
+            self.san.on_mem(self, instr, idx, mask)
         self._maybe_check_race(idx[mask], src[mask], f"global buffer {instr.buf!r}")
         arr[idx[mask]] = src[mask].astype(arr.dtype)
         self._count_transactions(idx, mask, instr.buf, "st")
@@ -850,6 +891,8 @@ class _BlockRun:
     def _ld_shared(self, instr, mask) -> None:
         idx = self._shared_indices(instr.idx, mask, instr.buf)
         arr = self.shared[instr.buf]
+        if self.san is not None:
+            self.san.on_mem(self, instr, idx, mask)
         value = np.zeros(self.nthreads, dtype=np.float64)
         value[mask] = arr[idx[mask]]
         self._write(instr.dst, value, mask)
@@ -859,6 +902,8 @@ class _BlockRun:
     def _st_shared(self, instr, mask) -> None:
         idx = self._shared_indices(instr.idx, mask, instr.buf)
         src = self._value_array(instr.src, mask)
+        if self.san is not None:
+            self.san.on_mem(self, instr, idx, mask)
         self._maybe_check_race(idx[mask], src[mask], f"shared buffer {instr.buf!r}")
         self.shared[instr.buf][idx[mask]] = src[mask]
         self._count("inst.st.shared", mask)
@@ -890,6 +935,8 @@ class _BlockRun:
     def _atom_shared(self, instr, mask) -> None:
         idx = self._shared_indices(instr.idx, mask, instr.buf)
         src = self._value_array(instr.src, mask)
+        if self.san is not None:
+            self.san.on_mem(self, instr, idx, mask)
         _ATOMIC_UFUNC[instr.op].at(self.shared[instr.buf], idx[mask], src[mask])
         ops = int(mask.sum())
         self.events["atom.shared.ops"] += ops
@@ -909,6 +956,8 @@ class _BlockRun:
         idx = self._global_indices(instr.idx, mask, instr.buf)
         src = self._value_array(instr.src, mask)
         arr = self.device.get(instr.buf)
+        if self.san is not None:
+            self.san.on_mem(self, instr, idx, mask)
         # numpy's ufunc.at on a float32 array accumulates in float32, like
         # the hardware's atomic units.
         _ATOMIC_UFUNC[instr.op].at(arr, idx[mask], src[mask].astype(arr.dtype))
@@ -930,6 +979,11 @@ class _BlockRun:
     # -- shuffles -----------------------------------------------------------
 
     def _shfl(self, instr, mask) -> None:
+        if instr.width not in _SHFL_WIDTHS:
+            raise SimulationError(
+                f"kernel {self.kernel.name!r}: invalid shfl width "
+                f"{instr.width!r}"
+            )
         src = np.asarray(self._read(instr.src, mask))
         lanes = np.arange(self.nthreads, dtype=np.int64)
         sub = lanes % instr.width
@@ -944,11 +998,21 @@ class _BlockRun:
             target = sub - offset
         elif instr.mode == "xor":
             target = np.bitwise_xor(sub, offset.astype(np.int64))
-        else:  # idx
+        elif instr.mode == "idx":
             target = offset.astype(np.int64)
-        in_range = (target >= 0) & (target < instr.width)
-        source_lane = np.where(in_range, base + target, lanes)
-        source_lane = np.clip(source_lane, 0, self.nthreads - 1)
+        else:
+            raise SimulationError(
+                f"kernel {self.kernel.name!r}: invalid shfl mode "
+                f"{instr.mode!r}"
+            )
+        # Identity fallback for any source lane outside the width segment
+        # *or* past the block's last thread: hardware reads the caller's
+        # own value there, it never wraps into the next warp segment.
+        source = base + target
+        valid = (target >= 0) & (target < instr.width) & (source < self.nthreads)
+        source_lane = np.where(valid, source, lanes)
+        if self.san is not None:
+            self.san.on_shfl(self, instr, source_lane, mask)
         result = src[source_lane]
         self._write(instr.dst, result, mask)
         self._count("inst.shfl", mask)
@@ -974,7 +1038,7 @@ class _BatchedRun:
     """
 
     def __init__(self, executor, step, block_ids, events, atomic_addr_counts,
-                 trace=None):
+                 trace=None, san=None):
         self.executor = executor
         self.device = executor.device
         self.step = step
@@ -986,6 +1050,7 @@ class _BatchedRun:
         self.events = events
         self.atomic_addr_counts = atomic_addr_counts
         self.trace = trace
+        self.san = san
         self.regs = {}
         self.shared = {
             decl.name: np.zeros((self.nblocks, decl.size), dtype=np.float64)
@@ -1034,6 +1099,19 @@ class _BatchedRun:
             self.events["inst.bar"] += self.nblocks
         else:
             self.events["inst.bar"] += int(mask.any(axis=1).sum())
+        if self.san is not None:
+            self.san.on_bar(self, mask)
+
+    def _count_loop_divergence(self, before, after) -> None:
+        """Batched twin of :meth:`_BlockRun._count_loop_divergence`."""
+        exited = before & ~after
+        if not exited.any() or not after.any():
+            return
+        stay_any = np.bitwise_or.reduceat(after, self._warp_starts, axis=1)
+        exit_any = np.bitwise_or.reduceat(exited, self._warp_starts, axis=1)
+        divergent = int(np.count_nonzero(stay_any & exit_any))
+        if divergent:
+            self.events["branch.divergent"] += divergent
 
     # -- compiled-trace execution (see repro.gpusim.compile) -----------
 
@@ -1078,7 +1156,9 @@ class _BatchedRun:
             cond = np.asarray(cond_read(self), dtype=bool)
             if cond.shape != self.shape:
                 cond = np.broadcast_to(cond, self.shape)
-            active &= cond
+            staying = active & cond
+            self._count_loop_divergence(active, staying)
+            active = staying
             if not active.any():
                 return
             iterations += 1
@@ -1239,7 +1319,9 @@ class _BatchedRun:
             cond = np.asarray(self._read(instr.cond, active), dtype=bool)
             if cond.shape != self.shape:
                 cond = np.broadcast_to(cond, self.shape)
-            active &= cond
+            staying = active & cond
+            self._count_loop_divergence(active, staying)
+            active = staying
             if not active.any():
                 return
             iterations += 1
@@ -1326,6 +1408,8 @@ class _BatchedRun:
     def _ld_global(self, instr, mask) -> None:
         idx = self._global_indices(instr.idx, mask, instr.buf)
         arr = self.device.get(instr.buf)
+        if self.san is not None:
+            self.san.on_mem(self, instr, idx, mask)
         if instr.width == 1:
             if self._cur_all:
                 # Full mask: the masked scatter below degenerates to a
@@ -1354,6 +1438,8 @@ class _BatchedRun:
         idx = self._global_indices(instr.idx, mask, instr.buf)
         src = self._value_array(instr.src, mask)
         arr = self.device.get(instr.buf)
+        if self.san is not None:
+            self.san.on_mem(self, instr, idx, mask)
         self._maybe_check_race(
             self._brow[mask], idx[mask], src[mask], len(arr),
             f"global buffer {instr.buf!r}",
@@ -1403,6 +1489,8 @@ class _BatchedRun:
     def _ld_shared(self, instr, mask) -> None:
         idx = self._shared_indices(instr.idx, mask, instr.buf)
         arr = self.shared[instr.buf]
+        if self.san is not None:
+            self.san.on_mem(self, instr, idx, mask)
         value = np.zeros(self.shape, dtype=np.float64)
         value[mask] = arr[self._brow[mask], idx[mask]]
         self._write(instr.dst, value, mask)
@@ -1413,6 +1501,8 @@ class _BatchedRun:
         idx = self._shared_indices(instr.idx, mask, instr.buf)
         src = self._value_array(instr.src, mask)
         arr = self.shared[instr.buf]
+        if self.san is not None:
+            self.san.on_mem(self, instr, idx, mask)
         self._maybe_check_race(
             self._brow[mask], idx[mask], src[mask], arr.shape[1],
             f"shared buffer {instr.buf!r}",
@@ -1461,6 +1551,8 @@ class _BatchedRun:
         idx = self._shared_indices(instr.idx, mask, instr.buf)
         src = self._value_array(instr.src, mask)
         arr = self.shared[instr.buf]
+        if self.san is not None:
+            self.san.on_mem(self, instr, idx, mask)
         rows = self._brow[mask]
         cols = idx[mask]
         _ATOMIC_UFUNC[instr.op].at(arr, (rows, cols), src[mask])
@@ -1481,6 +1573,8 @@ class _BatchedRun:
         idx = self._global_indices(instr.idx, mask, instr.buf)
         src = self._value_array(instr.src, mask)
         arr = self.device.get(instr.buf)
+        if self.san is not None:
+            self.san.on_mem(self, instr, idx, mask)
         # ufunc.at applies updates in flattened (block-major) order — the
         # same order the sequential engine's per-block calls produce, so
         # float accumulation is bit-identical.
@@ -1512,6 +1606,11 @@ class _BatchedRun:
     # -- shuffles -----------------------------------------------------------
 
     def _shfl(self, instr, mask) -> None:
+        if instr.width not in _SHFL_WIDTHS:
+            raise SimulationError(
+                f"kernel {self.kernel.name!r}: invalid shfl width "
+                f"{instr.width!r}"
+            )
         src = np.asarray(self._read(instr.src, mask))
         if src.shape != self.shape:
             src = np.broadcast_to(src, self.shape)
@@ -1527,14 +1626,24 @@ class _BatchedRun:
             target = sub - offset
         elif instr.mode == "xor":
             target = np.bitwise_xor(sub, offset.astype(np.int64))
-        else:  # idx
+        elif instr.mode == "idx":
             target = offset.astype(np.int64)
+        else:
+            raise SimulationError(
+                f"kernel {self.kernel.name!r}: invalid shfl mode "
+                f"{instr.mode!r}"
+            )
         if target.shape != self.shape:
             target = np.broadcast_to(target, self.shape)
-        in_range = (target >= 0) & (target < instr.width)
-        source_lane = np.where(in_range, base + target, lanes)
-        source_lane = np.clip(source_lane, 0, self.nthreads - 1)
-        result = np.take_along_axis(src, source_lane.astype(np.int64), axis=1)
+        # Identity fallback for any source lane outside the width segment
+        # *or* past the block's last thread (see _BlockRun._shfl).
+        source = base + target
+        valid = (target >= 0) & (target < instr.width) & (source < self.nthreads)
+        source_lane = np.where(valid, source, np.broadcast_to(lanes, self.shape))
+        source_lane = source_lane.astype(np.int64)
+        if self.san is not None:
+            self.san.on_shfl(self, instr, source_lane, mask)
+        result = np.take_along_axis(src, source_lane, axis=1)
         self._write(instr.dst, result, mask)
         self._count("inst.shfl", mask)
 

@@ -28,7 +28,10 @@ EVENT_KEYS = (
     "atom.shared.block_max_same_addr",  # per-block same-address total (summed)
     "atom.global.ops",       # global atomic operations (thread level)
     "atom.global.max_same_addr",  # launch-wide max ops on one address
-    "branch.divergent",      # warp-divergent If regions
+    "branch.divergent",      # warp-divergent If regions and While
+                             # back-edge tests (a warp whose active lanes
+                             # split between continuing and exiting an
+                             # iteration counts once per test)
     "warps",                 # warps launched
     "blocks",                # blocks launched
     "threads",               # threads launched

@@ -1,0 +1,296 @@
+"""Static SIMT lint: a VIR pass over kernels, no execution required.
+
+Built on the abstract interpreters in :mod:`repro.vir.analysis` — the
+uniform-constant evaluator (which the closure compiler already uses to
+unroll tree loops) and the block-uniformity tracker. Two checks:
+
+* **missing-barrier-in-tree-loop** — a ``While`` body that stores to a
+  shared buffer and loads a *different* address of the same buffer with
+  no ``Bar`` anywhere in the loop. Cross-lane shared traffic inside a
+  barrier-free loop is only legal while it stays inside one warp
+  (lockstep warp-synchronous execution orders it); the pass proves the
+  intra-warp case by constant-evaluating the loop-carried offset
+  registers that feed the load address but not the store address. An
+  offset that reaches ``WARP`` or cannot be bounded is flagged.
+* **non-atomic-rmw** — a shared store whose value derives from a load of
+  the same buffer at the same *block-uniform* address, executed where
+  more than one lane can be active. Every active lane then performs the
+  classic racy read-modify-write that ``atomicAdd`` exists to prevent.
+  Single-lane regions (``if (tid == 0)`` style guards) are recognized
+  and exempt.
+
+Both checks are heuristic in the direction of the generated catalog:
+they keep every stock Figure 6 variant clean while flagging the
+deliberately-broken codelets in :mod:`repro.sanitize.negatives`. The
+dynamic sanitizer remains the ground truth — the lint exists to catch
+the same classes of bug without choosing an input size.
+"""
+
+from __future__ import annotations
+
+from ..gpusim.engine import WARP
+from ..vir.analysis import (
+    UNKNOWN,
+    eval_const_body,
+    eval_const_instr,
+    eval_uniform_instr,
+)
+from ..vir.instructions import (
+    Bar,
+    BinOp,
+    If,
+    Imm,
+    LdShared,
+    Mov,
+    Reg,
+    Sel,
+    Special,
+    StShared,
+    UnOp,
+    While,
+    walk_instrs,
+)
+from ..vir.printer import format_instr
+from .dynamic import Diagnostic
+
+#: Special registers that identify exactly one lane when pinned by ==.
+_LANE_SPECIALS = frozenset({"tid", "laneid"})
+
+_DEF_CLASSES = (Mov, BinOp, UnOp, Sel, Special)
+
+
+def lint_kernel(kernel) -> list:
+    """Run both static checks over one kernel; returns Diagnostics."""
+    defs = _collect_defs(kernel.body)
+    diags = []
+    _lint_body(kernel, kernel.body, defs, const_env={}, uniform_env={},
+               single_lane=False, diags=diags)
+    return diags
+
+
+def lint_plan(plan) -> list:
+    """Lint every kernel step of a plan."""
+    diags = []
+    seen = set()
+    for step in plan.kernel_steps():
+        if id(step.kernel) in seen:
+            continue
+        seen.add(id(step.kernel))
+        diags.extend(lint_kernel(step.kernel))
+    return diags
+
+
+# -- def/use plumbing ---------------------------------------------------
+
+
+def _collect_defs(body) -> dict:
+    """Register name -> defining scalar instruction (last def wins)."""
+    defs = {}
+    for instr in walk_instrs(body):
+        if isinstance(instr, _DEF_CLASSES):
+            defs[instr.dst.name] = instr
+    return defs
+
+
+def _operands(instr):
+    for value in vars(instr).values():
+        if isinstance(value, (Reg, Imm)):
+            yield value
+
+
+def _slice_regs(roots, defs) -> set:
+    """Transitive closure of registers feeding ``roots`` through defs."""
+    seen = set()
+    work = list(roots)
+    while work:
+        name = work.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        instr = defs.get(name)
+        if instr is None or isinstance(instr, Special):
+            continue
+        for op in _operands(instr):
+            if isinstance(op, Reg) and op.name != name:
+                work.append(op.name)
+    return seen
+
+
+def _idx_regs(operand) -> set:
+    return {operand.name} if isinstance(operand, Reg) else set()
+
+
+def _is_single_lane_guard(cond: Reg, defs) -> bool:
+    """True for conditions of the shape ``<lane id expr> == <constant>``.
+
+    Recognizes the generated ``if (tid == 0)`` / ``if (laneid == 0)``
+    guards: an equality whose one side slices down to a per-lane special
+    (``tid``/``laneid``) and whose other side is an immediate or a
+    block-uniform value.
+    """
+    instr = defs.get(cond.name)
+    while isinstance(instr, Mov) and isinstance(instr.a, Reg):
+        instr = defs.get(instr.a.name)
+    if not isinstance(instr, BinOp) or instr.op != "eq":
+        return False
+    for lane_side in (instr.a, instr.b):
+        if not isinstance(lane_side, Reg):
+            continue
+        for name in _slice_regs({lane_side.name}, defs):
+            d = defs.get(name)
+            if isinstance(d, Special) and d.kind in _LANE_SPECIALS:
+                return True
+    return False
+
+
+# -- the recursive walk -------------------------------------------------
+
+
+def _lint_body(kernel, body, defs, const_env, uniform_env, single_lane,
+               diags) -> None:
+    for instr in body:
+        if isinstance(instr, If):
+            guard = single_lane or _is_single_lane_guard(instr.cond, defs)
+            # Region-local copies: writes inside are not constant/uniform
+            # afterwards (eval_*_instr poisons them below).
+            _lint_body(kernel, instr.then, defs, dict(const_env),
+                       dict(uniform_env), guard, diags)
+            _lint_body(kernel, instr.otherwise, defs, dict(const_env),
+                       dict(uniform_env), guard, diags)
+        elif isinstance(instr, While):
+            _check_tree_loop(kernel, instr, defs, const_env, diags)
+            _lint_body(kernel, instr.cond_block, defs, dict(const_env),
+                       dict(uniform_env), single_lane, diags)
+            _lint_body(kernel, instr.body, defs, dict(const_env),
+                       dict(uniform_env), single_lane, diags)
+        elif isinstance(instr, StShared) and not single_lane:
+            _check_rmw(kernel, instr, body, defs, uniform_env, diags)
+        eval_const_instr(instr, const_env)
+        eval_uniform_instr(instr, uniform_env)
+
+
+def _check_rmw(kernel, store: StShared, body, defs, uniform_env,
+               diags) -> None:
+    """Flag ``sdata[u] = f(sdata[u], ...)`` at a multi-lane program point."""
+    if not _uniform_idx(store.idx, uniform_env):
+        return
+    if not isinstance(store.src, Reg):
+        return
+    for name in _slice_regs({store.src.name}, defs):
+        load = _find_load(name, body)
+        if load is None or load.buf != store.buf:
+            continue
+        if _same_operand(load.idx, store.idx):
+            diags.append(Diagnostic(
+                kind="non-atomic-rmw",
+                kernel=kernel.name,
+                instr=format_instr(store).strip(),
+                message=(
+                    f"shared {store.buf}[{store.idx}] is read-modify-"
+                    f"written through `{format_instr(load).strip()}` at a "
+                    f"program point where multiple lanes are active — "
+                    f"every lane races on the same address; use an "
+                    f"atomic or a single-lane guard"
+                ),
+                buf=store.buf,
+                source="lint",
+            ))
+            return
+
+
+def _uniform_idx(idx, uniform_env) -> bool:
+    if isinstance(idx, Imm):
+        return True
+    if isinstance(idx, Reg):
+        return bool(uniform_env.get(idx.name, False))
+    return False
+
+
+def _same_operand(a, b) -> bool:
+    if isinstance(a, Imm) and isinstance(b, Imm):
+        return a.value == b.value
+    if isinstance(a, Reg) and isinstance(b, Reg):
+        return a.name == b.name
+    return False
+
+
+def _find_load(reg_name, body):
+    for instr in walk_instrs(body):
+        if isinstance(instr, LdShared) and instr.dst.name == reg_name:
+            return instr
+    return None
+
+
+def _check_tree_loop(kernel, loop: While, defs, const_env, diags) -> None:
+    """Flag barrier-free loops with cross-warp shared store/load traffic."""
+    region = list(walk_instrs(loop.cond_block)) + list(walk_instrs(loop.body))
+    if any(isinstance(i, Bar) for i in region):
+        return
+    stores = [i for i in region if isinstance(i, StShared)]
+    loads = [i for i in region if isinstance(i, LdShared)]
+    if not stores or not loads:
+        return
+    for store in stores:
+        store_slice = _slice_regs(_idx_regs(store.idx), defs)
+        for load in loads:
+            if load.buf != store.buf or _same_operand(load.idx, store.idx):
+                continue
+            offset_regs = (
+                _slice_regs(_idx_regs(load.idx), defs) - store_slice
+            )
+            if not offset_regs:
+                continue
+            bound = _max_offset(loop, offset_regs, const_env)
+            if bound is not None and bound < WARP:
+                continue  # provably intra-warp: warp-synchronous, legal
+            reach = "unbounded" if bound is None else str(bound)
+            diags.append(Diagnostic(
+                kind="missing-barrier-in-tree-loop",
+                kernel=kernel.name,
+                instr=format_instr(load).strip(),
+                message=(
+                    f"loop stores to shared {store.buf} "
+                    f"(`{format_instr(store).strip()}`) and reads it "
+                    f"cross-lane with no barrier in the loop; the lane "
+                    f"offset reaches {reach} (>= warp size {WARP}), so "
+                    f"the exchange crosses warps without synchronization"
+                ),
+                buf=load.buf,
+                source="lint",
+            ))
+            return
+
+
+def _max_offset(loop: While, offset_regs, const_env):
+    """Largest constant value any offset register takes across the loop.
+
+    Simulates the loop over the uniform-constant environment (the same
+    interpreter the compiler's unroller uses). Returns ``None`` when a
+    relevant register is never a known constant or the loop does not
+    terminate constantly — callers treat that as "cannot prove
+    intra-warp".
+    """
+    env = dict(const_env)
+    best = None
+    for _ in range(WARP * 8):  # generous trip cap for >>=1 style loops
+        eval_const_body(loop.cond_block, env)
+        best = _fold_offsets(env, offset_regs, best)
+        cond = env.get(loop.cond.name, UNKNOWN)
+        if cond is UNKNOWN:
+            return best
+        if not cond:
+            return best
+        eval_const_body(loop.body, env)
+        best = _fold_offsets(env, offset_regs, best)
+    return None
+
+
+def _fold_offsets(env, offset_regs, best):
+    for name in offset_regs:
+        value = env.get(name, UNKNOWN)
+        if value is UNKNOWN or isinstance(value, float):
+            continue
+        value = abs(int(value))
+        if best is None or value > best:
+            best = value
+    return best

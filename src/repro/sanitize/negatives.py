@@ -1,0 +1,178 @@
+"""Deliberately-broken codelets the sanitizer must flag.
+
+Each builder returns a :class:`~repro.vir.program.Plan` carrying a
+bug the paper's rewrites could introduce if they went wrong, plus the
+diagnostic kinds the sanitizer is required to emit for it (dynamic
+and/or static). ``repro.sanitize.report.check_negatives`` runs them and
+fails if any goes unflagged — the sanitizer's own regression suite, in
+the spirit of mutation testing.
+
+* :func:`tree_no_barrier` — the classic Listing 1 tree reduction with
+  the ``__syncthreads`` between the initial shared store and the first
+  cross-warp tree step deleted.
+* :func:`stripped_atomic` — a shared-memory accumulation whose
+  ``atomicAdd`` qualifier was stripped to a plain load/add/store, so
+  every lane of the block races on one address.
+* :func:`shfl_under_guard` — a warp shuffle executed under a divergent
+  guard, reading source lanes the mask has inactivated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..vir.builder import IRBuilder
+from ..vir.program import Kernel, KernelStep, MemsetStep, Plan, SharedDecl
+
+
+@dataclass
+class Negative:
+    """One broken codelet plus what the sanitizer must say about it."""
+
+    name: str
+    plan: Plan
+    n: int                      # elements of the "in" buffer
+    expect_dynamic: list = field(default_factory=list)  # diagnostic kinds
+    expect_lint: list = field(default_factory=list)
+
+
+def _thread_id(b: IRBuilder):
+    tid = b.special("tid")
+    ctaid = b.special("ctaid")
+    ntid = b.special("ntid")
+    gid = b.binop("add", b.binop("mul", ctaid, ntid), tid)
+    return tid, gid
+
+
+def _plan(kernel: Kernel, grid: int, block: int, label: str) -> Plan:
+    return Plan(
+        name=label,
+        steps=[
+            MemsetStep("out", 0.0),
+            KernelStep(
+                kernel=kernel, grid=grid, block=block,
+                buffers={"in": "in", "out": "out"},
+            ),
+        ],
+        scratch={"out": 1},
+    )
+
+
+def tree_no_barrier(block: int = 64, grid: int = 2) -> Negative:
+    """Tree reduction missing the barrier after the initial store.
+
+    The first tree step (offset ``block/2 >= 32``) makes warp 0 read
+    partials warp 1 stored with no intervening ``__syncthreads`` — a
+    read-write hazard — and the whole loop runs barrier-free, which the
+    static lint proves cannot stay intra-warp.
+    """
+    b = IRBuilder()
+    tid, gid = _thread_id(b)
+    v = b.ld_global("in", gid)
+    b.st_shared("sdata", tid, v)
+    # BUG: `b.bar()` belongs here.
+    s = b.mov(block // 2)
+    cond = b.fresh("cond")
+    loop = b.while_(cond)
+    with loop.cond:
+        b.binop("gt", s, 0, dst=cond)
+    with loop.body:
+        guard = b.binop("lt", tid, s)
+        with b.if_(guard):
+            mine = b.ld_shared("sdata", tid)
+            other = b.ld_shared("sdata", b.binop("add", tid, s))
+            b.st_shared("sdata", tid, b.binop("add", mine, other))
+        b.binop("shr", s, 1, dst=s)
+        # BUG: no `b.bar()` inside the loop either.
+    done = b.binop("eq", tid, 0)
+    with b.if_(done):
+        total = b.ld_shared("sdata", 0)
+        b.atom_global("add", "out", 0, total)
+    kernel = Kernel(
+        name="neg_tree_no_barrier",
+        buffers=["in", "out"],
+        shared=[SharedDecl("sdata", block)],
+        body=b.finish(),
+    )
+    return Negative(
+        name="tree-no-barrier",
+        plan=_plan(kernel, grid, block, "neg/tree_no_barrier"),
+        n=grid * block,
+        expect_dynamic=["read-write-hazard"],
+        expect_lint=["missing-barrier-in-tree-loop"],
+    )
+
+
+def stripped_atomic(block: int = 64, grid: int = 2) -> Negative:
+    """Shared accumulation with the ``atomicAdd`` qualifier stripped.
+
+    Every lane performs ``acc[0] = acc[0] + v`` as a plain load/store:
+    a same-instruction write-write race dynamically, and a provable
+    multi-lane read-modify-write statically.
+    """
+    b = IRBuilder()
+    tid, gid = _thread_id(b)
+    init = b.binop("eq", tid, 0)
+    with b.if_(init):
+        b.st_shared("acc", 0, 0.0)
+    b.bar()
+    v = b.ld_global("in", gid)
+    old = b.ld_shared("acc", 0)
+    # BUG: should be `b.atom_shared("add", "acc", 0, v)`.
+    b.st_shared("acc", 0, b.binop("add", old, v))
+    b.bar()
+    done = b.binop("eq", tid, 0)
+    with b.if_(done):
+        total = b.ld_shared("acc", 0)
+        b.atom_global("add", "out", 0, total)
+    kernel = Kernel(
+        name="neg_stripped_atomic",
+        buffers=["in", "out"],
+        shared=[SharedDecl("acc", 1)],
+        body=b.finish(),
+    )
+    return Negative(
+        name="stripped-atomic",
+        plan=_plan(kernel, grid, block, "neg/stripped_atomic"),
+        n=grid * block,
+        expect_dynamic=["write-write-hazard"],
+        expect_lint=["non-atomic-rmw"],
+    )
+
+
+def shfl_under_guard(block: int = 32, grid: int = 1) -> Negative:
+    """Warp shuffle under a divergent guard.
+
+    Lanes 0–15 execute ``shfl.down 8`` while lanes 16–31 are masked
+    off; lanes 8–15 therefore read inactive source lanes 16–23 —
+    undefined per CUDA, silently stale in the simulator. Only the
+    dynamic sanitizer sees masks, so there is no lint expectation.
+    """
+    b = IRBuilder()
+    tid, gid = _thread_id(b)
+    v = b.ld_global("in", gid)
+    guard = b.binop("lt", tid, 16)
+    with b.if_(guard):
+        # BUG: the shuffle belongs outside the guard (or the guard
+        # below the shuffle) — sources 16..23 are inactive here.
+        other = b.shfl(v, "down", 8)
+        b.atom_global("add", "out", 0, b.binop("add", v, other))
+    kernel = Kernel(
+        name="neg_shfl_under_guard",
+        buffers=["in", "out"],
+        body=b.finish(),
+    )
+    return Negative(
+        name="shfl-under-guard",
+        plan=_plan(kernel, grid, block, "neg/shfl_under_guard"),
+        n=grid * block,
+        expect_dynamic=["shfl-inactive-source"],
+        expect_lint=[],
+    )
+
+
+NEGATIVE_BUILDERS = (tree_no_barrier, stripped_atomic, shfl_under_guard)
+
+
+def all_negatives() -> list:
+    return [build() for build in NEGATIVE_BUILDERS]

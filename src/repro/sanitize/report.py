@@ -1,0 +1,216 @@
+"""Sanitizer sweeps and report formatting.
+
+Drives the dynamic sanitizer and the static lint over synthesized
+reduction plans — the full Figure 6 catalog × {add,max,min} ×
+{float,int} — and over the deliberately-broken negative codelets, and
+renders per-variant reports for the CLI and CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..gpusim import Executor, parse_engine_spec
+from .dynamic import Sanitizer
+from .lint import lint_plan
+from .negatives import all_negatives
+
+#: One spec per execution mode and per dispatch backend: the sweep
+#: crosses both engines and both backends without running all four
+#: combinations per variant.
+DEFAULT_ENGINES = ("batched-compiled", "sequential-interpreted")
+
+DEFAULT_OPS = ("add", "max", "min")
+DEFAULT_CTYPES = ("float", "int")
+
+
+@dataclass
+class VariantReport:
+    """Sanitizer verdict for one (version, op, ctype) across engines."""
+
+    version: str
+    op: str
+    ctype: str
+    dynamic: dict = field(default_factory=dict)  # engine spec -> [Diagnostic]
+    lint: list = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.lint and all(
+            not diags for diags in self.dynamic.values()
+        )
+
+    def all_diagnostics(self) -> list:
+        out = list(self.lint)
+        for diags in self.dynamic.values():
+            out.extend(diags)
+        return out
+
+
+@dataclass
+class NegativeReport:
+    """Did the sanitizer flag one deliberately-broken codelet?"""
+
+    name: str
+    dynamic: dict = field(default_factory=dict)  # engine spec -> [Diagnostic]
+    lint: list = field(default_factory=list)
+    missing: list = field(default_factory=list)  # expected kinds not seen
+
+    @property
+    def flagged(self) -> bool:
+        return not self.missing
+
+
+def _input_for(n: int, dtype) -> np.ndarray:
+    """Deterministic, non-constant input (no RNG: reports must be stable)."""
+    base = np.arange(n, dtype=np.int64) % 31 - 7
+    return base.astype(dtype)
+
+
+def run_sanitized(plan, data, engine: str) -> list:
+    """Run one plan under the dynamic sanitizer; returns diagnostics."""
+    mode, backend = parse_engine_spec(engine)
+    sanitizer = Sanitizer()
+    executor = Executor(mode=mode, backend=backend, sanitizer=sanitizer)
+    executor.device.upload("in", data)
+    executor.run_plan(plan)
+    return sanitizer.diagnostics
+
+
+def sanitize_variant(fw, version, n: int, engines=DEFAULT_ENGINES,
+                     lint: bool = True) -> VariantReport:
+    """Sanitize one synthesized version at size ``n``."""
+    plan = fw.build(version, n)
+    report = VariantReport(version=str(version), op=fw.op, ctype=fw.ctype)
+    data = _input_for(n, fw.dtype)
+    for engine in engines:
+        report.dynamic[engine] = run_sanitized(plan, data, engine)
+    if lint:
+        report.lint = lint_plan(plan)
+    return report
+
+
+def sweep_catalog(n: int, versions=None, ops=DEFAULT_OPS,
+                  ctypes=DEFAULT_CTYPES, engines=DEFAULT_ENGINES,
+                  lint: bool = True, progress=None) -> list:
+    """Sanitize the catalog cross product; returns VariantReports."""
+    from ..core import FIG6
+    from ..runtime import ReductionFramework
+
+    labels = list(versions) if versions else sorted(FIG6)
+    reports = []
+    for op in ops:
+        for ctype in ctypes:
+            fw = ReductionFramework(op=op, ctype=ctype)
+            for label in labels:
+                report = sanitize_variant(fw, label, n, engines, lint)
+                reports.append(report)
+                if progress is not None:
+                    progress(report)
+    return reports
+
+
+def check_negatives(engines=DEFAULT_ENGINES) -> list:
+    """Run every negative codelet; each must be flagged as expected."""
+    reports = []
+    for negative in all_negatives():
+        report = NegativeReport(name=negative.name)
+        data = _input_for(negative.n, np.float32)
+        seen_dynamic = set()
+        for engine in engines:
+            diags = run_sanitized(negative.plan, data, engine)
+            report.dynamic[engine] = diags
+            seen_dynamic.update(d.kind for d in diags)
+        report.lint = lint_plan(negative.plan)
+        seen_lint = {d.kind for d in report.lint}
+        report.missing = [
+            kind for kind in negative.expect_dynamic
+            if kind not in seen_dynamic
+        ] + [
+            kind for kind in negative.expect_lint if kind not in seen_lint
+        ]
+        reports.append(report)
+    return reports
+
+
+# -- rendering ----------------------------------------------------------
+
+
+def format_variant(report: VariantReport) -> list:
+    head = f"({report.version}) op={report.op} ctype={report.ctype}"
+    if report.clean:
+        return [f"  {head}: clean"]
+    lines = [f"  {head}: {len(report.all_diagnostics())} diagnostic(s)"]
+    for engine, diags in report.dynamic.items():
+        for diag in diags:
+            lines.append(f"    [{engine}] {diag.render()}")
+    for diag in report.lint:
+        lines.append(f"    {diag.render()}")
+    return lines
+
+
+def format_negative(report: NegativeReport) -> list:
+    verdict = "flagged" if report.flagged else (
+        f"NOT FLAGGED (missing: {', '.join(report.missing)})"
+    )
+    lines = [f"  {report.name}: {verdict}"]
+    kinds = set()
+    for diags in report.dynamic.values():
+        kinds.update(d.render() for d in diags)
+    kinds.update(d.render() for d in report.lint)
+    for text in sorted(kinds):
+        lines.append(f"    {text}")
+    return lines
+
+
+def _diag_dict(diag) -> dict:
+    return {
+        "kind": diag.kind,
+        "source": diag.source,
+        "kernel": diag.kernel,
+        "instr": diag.instr,
+        "message": diag.message,
+        "buf": diag.buf,
+        "blocks": list(diag.blocks),
+        "lanes": list(diag.lanes),
+        "addrs": list(diag.addrs),
+        "count": diag.count,
+    }
+
+
+def report_json(variant_reports, negative_reports, n: int) -> dict:
+    """JSON-serializable report for the CI artifact."""
+    return {
+        "n": n,
+        "clean": all(r.clean for r in variant_reports)
+        and all(r.flagged for r in negative_reports),
+        "variants": [
+            {
+                "version": r.version,
+                "op": r.op,
+                "ctype": r.ctype,
+                "clean": r.clean,
+                "dynamic": {
+                    engine: [_diag_dict(d) for d in diags]
+                    for engine, diags in r.dynamic.items()
+                },
+                "lint": [_diag_dict(d) for d in r.lint],
+            }
+            for r in variant_reports
+        ],
+        "negatives": [
+            {
+                "name": r.name,
+                "flagged": r.flagged,
+                "missing": r.missing,
+                "dynamic": {
+                    engine: [_diag_dict(d) for d in diags]
+                    for engine, diags in r.dynamic.items()
+                },
+                "lint": [_diag_dict(d) for d in r.lint],
+            }
+            for r in negative_reports
+        ],
+    }

@@ -200,6 +200,75 @@ def eval_const_body(body, env) -> None:
         eval_const_instr(instr, env)
 
 
+#: Special registers that hold the same value in every lane of a block.
+UNIFORM_SPECIALS = frozenset({"ctaid", "ntid", "nctaid"})
+
+
+def eval_uniform_instr(instr, env) -> None:
+    """Abstractly track *block-uniformity* of registers.
+
+    ``env`` maps register name -> ``True`` when every lane of a block
+    provably holds the same value at that program point, ``False``
+    otherwise. This complements :func:`eval_const_instr` (which tracks
+    the uniform *value* when it is also a compile-time constant): a
+    register seeded from ``ld.param`` or ``%ctaid`` is uniform without
+    being constant. The sanitizer's static lint uses it to decide
+    whether a shared-memory address is provably written by every active
+    lane of a region (a uniform index under a multi-lane mask).
+
+    Conservative like its twin: loads, shuffles, atomics and writes
+    under (possibly divergent) ``If``/``While`` control poison their
+    destinations to non-uniform.
+    """
+    from .instructions import LdParam, Special
+
+    if isinstance(instr, Comment):
+        return
+    if isinstance(instr, Mov):
+        env[instr.dst.name] = _uniform_operand(instr.a, env)
+        return
+    if isinstance(instr, BinOp):
+        env[instr.dst.name] = (
+            _uniform_operand(instr.a, env) and _uniform_operand(instr.b, env)
+        )
+        return
+    if isinstance(instr, UnOp):
+        env[instr.dst.name] = _uniform_operand(instr.a, env)
+        return
+    if isinstance(instr, Sel):
+        env[instr.dst.name] = (
+            _uniform_operand(instr.cond, env)
+            and _uniform_operand(instr.a, env)
+            and _uniform_operand(instr.b, env)
+        )
+        return
+    if isinstance(instr, Special):
+        env[instr.dst.name] = instr.kind in UNIFORM_SPECIALS
+        return
+    if isinstance(instr, LdParam):
+        env[instr.dst.name] = True
+        return
+    if isinstance(instr, (If, While)):
+        for name in written_regs([instr]):
+            env[name] = False
+        return
+    dst = getattr(instr, "dst", None)
+    if isinstance(dst, Reg):
+        env[dst.name] = False
+    elif isinstance(dst, list):
+        for reg in dst:
+            if isinstance(reg, Reg):
+                env[reg.name] = False
+
+
+def _uniform_operand(operand, env) -> bool:
+    if isinstance(operand, Imm):
+        return True
+    if isinstance(operand, Reg):
+        return env.get(operand.name, False)
+    return False
+
+
 def uniform_trip_count(loop: While, env, max_trips: int = 256):
     """Trip count of a ``While`` whose condition is uniform-constant.
 

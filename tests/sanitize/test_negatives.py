@@ -1,0 +1,53 @@
+"""Every deliberately-broken codelet must be flagged (mutation tests)."""
+
+import numpy as np
+
+from repro.sanitize import all_negatives, check_negatives
+from repro.sanitize.report import run_sanitized
+
+ALL_SPECS = (
+    "sequential-interpreted",
+    "sequential-compiled",
+    "batched-interpreted",
+    "batched-compiled",
+)
+
+
+def test_every_negative_flagged_default_engines():
+    reports = check_negatives()
+    assert [r.name for r in reports] == [
+        "tree-no-barrier", "stripped-atomic", "shfl-under-guard"
+    ]
+    for report in reports:
+        assert report.flagged, (report.name, report.missing)
+
+
+def test_every_negative_flagged_all_four_combos():
+    reports = check_negatives(engines=ALL_SPECS)
+    for report in reports:
+        assert report.flagged, (report.name, report.missing)
+        for spec in ALL_SPECS:
+            assert report.dynamic[spec], (report.name, spec)
+
+
+def test_diagnostics_name_kernel_instruction_and_lanes():
+    for negative in all_negatives():
+        data = (np.arange(negative.n) % 7).astype(np.float32)
+        diags = run_sanitized(negative.plan, data, "sequential-interpreted")
+        expected = set(negative.expect_dynamic)
+        seen = {d.kind for d in diags}
+        assert expected <= seen, (negative.name, seen)
+        for diag in diags:
+            assert diag.kernel.startswith("neg_")
+            assert diag.instr  # formatted VIR instruction
+            assert diag.lanes  # the conflicting/offending lanes
+            rendered = diag.render()
+            assert diag.kernel in rendered and diag.kind in rendered
+
+
+def test_expected_lint_kinds():
+    from repro.sanitize import lint_plan
+
+    for negative in all_negatives():
+        seen = {d.kind for d in lint_plan(negative.plan)}
+        assert set(negative.expect_lint) <= seen, (negative.name, seen)
