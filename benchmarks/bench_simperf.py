@@ -10,18 +10,22 @@ Measures the mechanisms of docs/PERFORMANCE.md on this machine:
    and kernels compiled beforehand, the steady-state of any sweep) and
    cold (frontend plan build + closure compilation, the one-time cost
    the plan cache amortizes away);
-3. cold vs warm ``best_version`` sweeps through the unified profile
+3. the vector backend (fused-region mega-expressions + megafused
+   loops, see ``repro.gpusim.fuse``) on the same launch, with the
+   one-time fusion cost and the fusion statistics recorded;
+4. cold vs warm ``best_version`` sweeps through the unified profile
    cache across several paper sizes;
-4. the disabled-tracer fast path of :mod:`repro.obs` — instrumentation
+5. the disabled-tracer fast path of :mod:`repro.obs` — instrumentation
    must cost nothing when ``REPRO_TRACE`` is unset, so the per-call
    overhead of a no-op ``tracer.span()`` is measured and bounded.
 
 Results go to ``BENCH_searchspace.json`` at the repository root so the
 speedups are tracked alongside the code. Headline ratios asserted:
-batched >= 2x sequential, compiled >= 2x the batched interpreter, and
-the warm sweep still beats cold (the compiled executor made cold
-points so cheap — ~0.1 ms each — that the old 5x cache ratio is now
-bounded by the timing-model floor, not by simulation).
+batched >= 2x sequential, compiled >= 2x the batched interpreter,
+vector >= 3x compiled (and within 25% of the committed snapshot's
+ratio), and the warm sweep still beats cold (the compiled executor
+made cold points so cheap — ~0.1 ms each — that the old 5x cache
+ratio is now bounded by the timing-model floor, not by simulation).
 """
 
 import json
@@ -33,7 +37,7 @@ import numpy as np
 from conftest import once, write_table
 from repro import ReductionFramework, Tunables
 from repro.codegen import build_plan
-from repro.gpusim import Executor, compile_kernel
+from repro.gpusim import Executor, compile_kernel, fuse_kernel
 from repro.perf import ProfileCache
 
 SNAPSHOT_PATH = Path(__file__).parent.parent / "BENCH_searchspace.json"
@@ -47,21 +51,60 @@ LARGE_N = 1 << 20
 LARGE_TUNABLES = Tunables(block=256, grid=64)
 
 
-def _profile_large(mode: str, backend: str) -> float:
+def _profile_large(mode: str, backend: str, reps: int = 3) -> float:
     """Seconds to profile version (b) at LARGE_N, fully executed.
 
-    ``fw.build`` goes through the plan cache, which pre-compiles every
-    kernel — so the compiled backend is measured *warm*, with no
-    compilation inside the timed region (its cold cost is measured
-    separately by :func:`_compile_cold`).
+    ``fw.build`` goes through the (backend-keyed) plan cache, which
+    pre-warms every kernel's backend artifact — so the compiled and
+    vector backends are measured *warm*, with no compilation or region
+    fusion inside the timed region (the one-time cold cost is measured
+    separately by :func:`_compile_cold` / :func:`_fuse_cold`).
+
+    Min-of-``reps``: single launches jitter enough (GC, allocator,
+    first-touch caches) to flap the headline ratios across runs. The
+    sub-100ms backends need more reps to reach steady state — their
+    first few launches pay allocator warm-up that the slow interpreter
+    legs amortize within one launch — so callers bump ``reps`` there.
     """
-    fw = ReductionFramework(op="add", cache=ProfileCache())
+    fw = ReductionFramework(
+        op="add", cache=ProfileCache(), engine=f"{mode}-{backend}"
+    )
     plan = fw.build("b", LARGE_N, LARGE_TUNABLES)
     executor = Executor(mode=mode, backend=backend)
     executor.device.alloc("in", LARGE_N, dtype=np.float32)
-    start = time.perf_counter()
-    executor.run_plan(plan)  # grid 64 <= sampling threshold: unsampled
-    return time.perf_counter() - start
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        executor.run_plan(plan)  # grid 64 <= sampling threshold
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _profile_large_pair(reps: int = 25):
+    """Warm (compiled_s, vector_s) for the LARGE_N profile, interleaved.
+
+    The headline vector-vs-compiled ratio is asserted hard (>= 3x), so
+    the two legs are timed *alternately* within the same loop: machine
+    drift (load spikes, frequency scaling) then hits both backends in
+    the same phase and cancels out of the ratio, where back-to-back
+    min-of-N blocks would let a slow phase land on only one leg.
+    """
+    runs = {}
+    for backend in ("compiled", "vector"):
+        fw = ReductionFramework(
+            op="add", cache=ProfileCache(), engine=f"batched-{backend}"
+        )
+        plan = fw.build("b", LARGE_N, LARGE_TUNABLES)
+        executor = Executor(mode="batched", backend=backend)
+        executor.device.alloc("in", LARGE_N, dtype=np.float32)
+        executor.run_plan(plan)  # untimed warm-up launch
+        runs[backend] = (executor, plan, [])
+    for _ in range(reps):
+        for executor, plan, times in runs.values():
+            start = time.perf_counter()
+            executor.run_plan(plan)
+            times.append(time.perf_counter() - start)
+    return min(runs["compiled"][2]), min(runs["vector"][2])
 
 
 def _compile_cold() -> float:
@@ -74,6 +117,32 @@ def _compile_cold() -> float:
     for step in plan.kernel_steps():
         compile_kernel(step.kernel)
     return time.perf_counter() - start
+
+
+def _fuse_cold():
+    """Seconds for region fusion on freshly compiled kernels (the
+    extra one-time cost a vector-keyed plan-cache miss pays on top of
+    closure compilation), plus the fusion statistics of the main
+    reduction kernel — the numbers ``repro stats`` surfaces."""
+    fw = ReductionFramework(op="add", cache=ProfileCache())
+    version = fw.resolve("b")
+    plan = build_plan(fw.pre, version, LARGE_N, LARGE_TUNABLES)
+    kernels = [step.kernel for step in plan.kernel_steps()]
+    for kernel in kernels:
+        compile_kernel(kernel)  # fusion input, not part of the cost
+    start = time.perf_counter()
+    for kernel in kernels:
+        fuse_kernel(kernel)
+    elapsed = time.perf_counter() - start
+    stats = fuse_kernel(kernels[0]).stats
+    return elapsed, {
+        "fused_regions": stats["fused_regions"],
+        "fused_instructions": stats["fused_instructions"],
+        "max_region_len": stats["max_region_len"],
+        "dead_stores": stats["dead_stores"],
+        "megafused_loops": stats["specialized"]["loop"],
+        "specialized": dict(stats["specialized"]),
+    }
 
 
 def _sweep(fw) -> float:
@@ -125,8 +194,9 @@ def _noop_tracer_overhead() -> float:
 def measure():
     sequential_s = _profile_large("sequential", "interpreted")
     batched_s = _profile_large("batched", "interpreted")
-    compiled_s = _profile_large("batched", "compiled")
+    compiled_s, vector_s = _profile_large_pair()
     compile_cold_s = _compile_cold()
+    fuse_cold_s, fusion = _fuse_cold()
 
     fw = ReductionFramework(op="add", cache=ProfileCache())
     cold_s = _sweep(fw)
@@ -156,6 +226,14 @@ def measure():
             "compile_cold_s": round(compile_cold_s, 4),
             "speedup_vs_interpreted": round(batched_s / compiled_s, 2),
         },
+        "vector_backend": {
+            "version": "b",
+            "n": LARGE_N,
+            "vector_warm_s": round(vector_s, 4),
+            "fuse_cold_s": round(fuse_cold_s, 4),
+            "speedup_vs_compiled": round(compiled_s / vector_s, 2),
+            "fusion": fusion,
+        },
         "best_version_sweep": {
             "cold_s": round(cold_s, 4),
             "warm_s": round(warm_s, 4),
@@ -170,11 +248,22 @@ def measure():
     }
 
 
+def _committed_vector_speedup():
+    """speedup_vs_compiled from the committed snapshot, or None."""
+    try:
+        committed = json.loads(SNAPSHOT_PATH.read_text())
+        return committed["vector_backend"]["speedup_vs_compiled"]
+    except (OSError, KeyError, ValueError):
+        return None
+
+
 def test_simperf_snapshot(benchmark):
+    committed_speedup = _committed_vector_speedup()
     data = once(benchmark, measure)
     SNAPSHOT_PATH.write_text(json.dumps(data, indent=2) + "\n")
     large = data["profile_large"]
     compiled = data["compiled_executor"]
+    vector = data["vector_backend"]
     sweep = data["best_version_sweep"]
     write_table(
         "simperf",
@@ -189,6 +278,13 @@ def test_simperf_snapshot(benchmark):
             f"compiled {compiled['compiled_warm_s']:.3f}s   "
             f"({compiled['speedup_vs_interpreted']:.1f}x; "
             f"one-time compile {compiled['compile_cold_s']:.3f}s)",
+            f"  vector (fused-region) backend on the same launch:",
+            f"    compiled {compiled['compiled_warm_s']:.3f}s   "
+            f"vector {vector['vector_warm_s']:.3f}s   "
+            f"({vector['speedup_vs_compiled']:.1f}x; one-time fuse "
+            f"{vector['fuse_cold_s']:.3f}s; "
+            f"{vector['fusion']['fused_regions']} regions, "
+            f"{vector['fusion']['megafused_loops']} megafused loop(s))",
             f"  best_version sweep over {data['versions_swept']} versions"
             f" x {len(data['sweep_sizes'])} sizes:",
             f"    cold {sweep['cold_s']:.3f}s   warm {sweep['warm_s']:.3f}s"
@@ -203,6 +299,19 @@ def test_simperf_snapshot(benchmark):
     assert (
         compiled["speedup_vs_interpreted"] >= 2.0
     ), "compiled dispatch must beat the interpreter 2x"
+    assert vector["speedup_vs_compiled"] >= 3.0, (
+        "the fused-region vector backend must beat the compiled "
+        "backend 3x on the 1M profile (ISSUE acceptance)"
+    )
+    # Regression smoke against the committed snapshot: the speedup
+    # ratio is compared (not absolute seconds) so the check holds
+    # across machines of different speeds.
+    if committed_speedup is not None:
+        assert vector["speedup_vs_compiled"] >= 0.75 * committed_speedup, (
+            f"fused 1M profile regressed >25% vs committed snapshot "
+            f"({vector['speedup_vs_compiled']}x now, "
+            f"{committed_speedup}x committed)"
+        )
     # Cold profiling collapsed from ~0.5s to ~10ms with the compiled
     # executor + plan cache, so warm/cold is no longer simulation-bound;
     # assert the cache still pays (warm faster, saved > spent) instead

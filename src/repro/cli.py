@@ -61,6 +61,17 @@ def _engine_spec(value: str) -> str:
     return value
 
 
+def _engine_help() -> str:
+    """``--engine`` help text, listing backends from the live registry."""
+    from .gpusim import EXECUTION_MODES, backend_names
+
+    modes = " | ".join(EXECUTION_MODES)
+    backends = " | ".join(backend_names())
+    return (f"simulator engine spec: an execution mode ({modes}), a "
+            f"dispatch backend ({backends}), or mode-backend (default: "
+            "auto, i.e. compiled dispatch)")
+
+
 def _framework(args):
     from .runtime import ReductionFramework
 
@@ -335,10 +346,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--grid", type=int, default=None)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--engine", default="auto", type=_engine_spec,
-                   help="simulator engine spec: an execution mode (auto | "
-                        "batched | sequential), a dispatch backend (compiled "
-                        "| interpreted), or mode-backend (default: auto, "
-                        "i.e. compiled dispatch)")
+                   help=_engine_help())
     p.set_defaults(func=cmd_reduce)
 
     p = sub.add_parser("time", help="modelled times across architectures")
@@ -385,10 +393,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--versions", default=None,
                    help="comma-separated Figure 6 labels "
                         "(default: the full catalog)")
-    p.add_argument("--engine", default=",".join(
-        ("batched-compiled", "sequential-interpreted")),
-        help="comma-separated engine specs to execute under (default: "
-             "batched-compiled,sequential-interpreted)")
+    from .sanitize.report import DEFAULT_ENGINES
+
+    p.add_argument("--engine", default=",".join(DEFAULT_ENGINES),
+                   help="comma-separated engine specs to execute under "
+                        f"(default: {','.join(DEFAULT_ENGINES)})")
     p.add_argument("--no-lint", dest="lint", action="store_false",
                    help="skip the static VIR lint pass")
     p.add_argument("--negatives", action="store_true",

@@ -159,9 +159,20 @@ def _pipeline_fingerprint(pre) -> str:
 
 
 def plan_key(
-    pre: PreprocessResult, version: Version, n: int, tunables: Tunables = None
+    pre: PreprocessResult,
+    version: Version,
+    n: int,
+    tunables: Tunables = None,
+    backend: str = "compiled",
 ) -> str:
-    """Content-hash key identifying one built plan (see ``repro.perf``)."""
+    """Content-hash key identifying one built plan (see ``repro.perf``).
+
+    The execution backend is part of the key: a cached plan is
+    pre-warmed for exactly one backend's per-kernel artifact (compiled
+    closures, fused regions, ...), and artifact memoization is by
+    kernel object identity — so plans warmed for different backends
+    must be distinct entries.
+    """
     t = tunables or Tunables()
     return content_key(
         kind="plan",
@@ -172,6 +183,7 @@ def plan_key(
         block=t.block,
         grid=t.grid,
         passes=_pipeline_fingerprint(pre),
+        backend=backend,
     )
 
 
@@ -180,24 +192,27 @@ def build_plan_cached(
     version: Version,
     n: int,
     tunables: Tunables = None,
+    backend: str = "compiled",
 ) -> Plan:
     """:func:`build_plan` through the process-wide plan cache.
 
     On a miss the plan is built and *pre-warmed*: each kernel step's
-    compiled closure trace and batchability summary are computed before
-    the plan is published, so every later executor — any framework
-    instance, any sweep worker thread — starts hot. Keys are content
-    hashes (:func:`plan_key`), so two frameworks with the same frontend
-    configuration share one built plan.
+    per-kernel backend artifact (resolved through the backend registry
+    — compiled closure trace, fused regions, ...) and batchability
+    summary are computed before the plan is published, so every later
+    executor — any framework instance, any sweep worker thread —
+    starts hot. Keys are content hashes (:func:`plan_key`), so two
+    frameworks with the same frontend configuration *and backend*
+    share one built plan.
     """
     # Imported lazily: codegen must stay importable without dragging in
     # the simulator (and gpusim must never import codegen at top level).
-    from ..gpusim import analyze_batchability, compile_kernel
+    from ..gpusim import analyze_batchability, get_backend
     from ..obs import get_tracer
     from ..perf import default_plan_cache
 
     cache = default_plan_cache()
-    key = plan_key(pre, version, n, tunables)
+    key = plan_key(pre, version, n, tunables, backend=backend)
     plan = cache.get(key)
     if plan is None:
         tracer = get_tracer()
@@ -210,11 +225,15 @@ def build_plan_cached(
         with tracer.span(
             "plan.compile", version=version.identifier, n=int(n)
         ) as span:
+            prepare = get_backend(backend).prepare
             traces = 0
             for step in plan.kernel_steps():
-                traces += len(compile_kernel(step.kernel).trace)
+                artifact = prepare(step.kernel)
+                trace = getattr(artifact, "trace", None)
+                if trace is not None:
+                    traces += len(trace)
                 analyze_batchability(step.kernel)
-            span.set(closures=traces)
+            span.set(closures=traces, backend=backend)
         cache.put(key, plan, cost_s=time.perf_counter() - start)
     return plan
 

@@ -1,6 +1,7 @@
 """GPU simulator substrate: device, functional SIMT engine, timing model."""
 
 from .arch import ARCHITECTURES, Architecture, KEPLER, MAXWELL, PASCAL, get_architecture
+from .backend import Backend, backend_names, get_backend, register_backend
 from .device import Device, DeviceError
 from .engine import (
     EXECUTION_BACKENDS,
@@ -12,6 +13,7 @@ from .engine import (
     run_plan,
 )
 from .compile import CompiledKernel, compile_kernel
+from .fuse import FusedKernel, fuse_kernel
 from .events import EVENT_KEYS, PlanProfile, StepProfile
 from .timing import (
     MEMSET_OVERHEAD_S,
@@ -29,11 +31,17 @@ __all__ = [
     "EVENT_KEYS",
     "EXECUTION_BACKENDS",
     "EXECUTION_MODES",
+    "Backend",
     "CompiledKernel",
     "Executor",
+    "FusedKernel",
     "analyze_batchability",
+    "backend_names",
     "compile_kernel",
+    "fuse_kernel",
+    "get_backend",
     "parse_engine_spec",
+    "register_backend",
     "KEPLER",
     "MAXWELL",
     "MEMSET_OVERHEAD_S",

@@ -1,0 +1,119 @@
+"""Execution backends behind a formal protocol + registry.
+
+The :class:`~repro.gpusim.engine.Executor` used to hardcode its backend
+dispatch (``if self.backend == "compiled": ...``), which meant adding a
+backend touched ``engine.py`` internals.  This module extracts the
+contract into a small protocol so backends plug in through a registry
+and :func:`~repro.gpusim.engine.parse_engine_spec` picks them up
+automatically (the Vortex paper in PAPERS.md motivates keeping this
+swappable for future native / software-warp-op targets).
+
+Backend protocol
+----------------
+A backend decides *how a kernel body executes* inside the run states
+(:class:`~repro.gpusim.engine._BlockRun` / ``_BatchedRun``); everything
+else — event/profile recording, sanitizer hooks, masks, memory — stays
+in the run state and is shared by every backend:
+
+``name``
+    Registry key, and the string recorded in ``StepProfile.meta
+    ["exec.backend"]``.
+``prepare(kernel)``
+    Build (and memoize) whatever per-kernel artifact the backend needs.
+    Called by the plan cache pre-warm so cached plans ship ready to run.
+``trace(kernel)``
+    Return the closure trace the run states should execute, or ``None``
+    to fall back to the tree-walking interpreter (``_exec_body``).
+    Closures in the trace follow the contract documented in
+    :mod:`repro.gpusim.compile`: they receive ``(state, mask)``, may
+    rely on ``state._cur_warps``/``state._cur_all``, must record their
+    own events, and must route memory/shuffle/barrier effects through
+    the state methods (or replicate them bit-exactly) so sanitizer
+    hooks and event counters stay identical across backends.
+
+Every backend must be **bit-identical** to the reference interpreter on
+results, event counters and profiles; ``tests/gpusim`` enforces this.
+"""
+
+from __future__ import annotations
+
+
+class Backend:
+    """Base class / protocol for execution backends."""
+
+    #: Registry key; also recorded in step profiles.
+    name = "?"
+
+    def prepare(self, kernel):
+        """Build the per-kernel artifact (memoized); may return None."""
+        return None
+
+    def trace(self, kernel):
+        """Closure trace to execute, or None for interpretation."""
+        return None
+
+
+class InterpretedBackend(Backend):
+    """Reference tree-walking interpreter: no per-kernel artifact."""
+
+    name = "interpreted"
+
+
+class CompiledBackend(Backend):
+    """Per-instruction specialized closures (see repro.gpusim.compile)."""
+
+    name = "compiled"
+
+    def prepare(self, kernel):
+        from .compile import compile_kernel  # lazy: avoids import cycle
+
+        return compile_kernel(kernel)
+
+    def trace(self, kernel):
+        return self.prepare(kernel).trace
+
+
+class VectorBackend(Backend):
+    """Fused-region mega-expressions (see repro.gpusim.fuse)."""
+
+    name = "vector"
+
+    def prepare(self, kernel):
+        from .fuse import fuse_kernel  # lazy: avoids import cycle
+
+        return fuse_kernel(kernel)
+
+    def trace(self, kernel):
+        return self.prepare(kernel).trace
+
+
+# -- registry -----------------------------------------------------------
+
+_REGISTRY: dict = {}
+
+
+def register_backend(backend: Backend) -> Backend:
+    """Register a backend instance under ``backend.name``."""
+    if not backend.name or backend.name == "?":
+        raise ValueError("backend must define a name")
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def get_backend(name: str) -> Backend:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"backend must be one of {backend_names()}, got {name!r}"
+        ) from None
+
+
+def backend_names() -> tuple:
+    """Registered backend names, registration order."""
+    return tuple(_REGISTRY)
+
+
+register_backend(CompiledBackend())
+register_backend(InterpretedBackend())
+register_backend(VectorBackend())

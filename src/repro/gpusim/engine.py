@@ -72,6 +72,7 @@ from ..vir.instructions import (
     While,
 )
 from ..vir.program import KernelStep, MemsetStep, Plan
+from .backend import backend_names, get_backend
 from .device import Device
 from .events import PlanProfile, StepProfile
 
@@ -171,31 +172,35 @@ _ATOMIC_UFUNC = {
 #: Execution-mode names accepted by :class:`Executor`.
 EXECUTION_MODES = ("auto", "batched", "sequential")
 
-#: Executor backends: ``compiled`` runs kernels as pre-compiled closure
-#: traces (see :mod:`repro.gpusim.compile`), ``interpreted`` is the
-#: reference per-instruction dispatch path. Both are bit-identical.
-EXECUTION_BACKENDS = ("compiled", "interpreted")
+#: Executor backends, from the registry in :mod:`repro.gpusim.backend`:
+#: ``compiled`` runs kernels as pre-compiled closure traces
+#: (:mod:`repro.gpusim.compile`), ``interpreted`` is the reference
+#: per-instruction dispatch path, ``vector`` executes fused-region
+#: mega-expressions (:mod:`repro.gpusim.fuse`). All are bit-identical.
+EXECUTION_BACKENDS = backend_names()
 
 
 def parse_engine_spec(spec):
     """Parse an engine spec string into ``(mode, backend)``.
 
-    Accepts a mode (``auto`` | ``batched`` | ``sequential``), a backend
-    (``compiled`` | ``interpreted``), or a hyphenated combination such
-    as ``sequential-interpreted``; omitted parts default to ``auto`` and
-    ``compiled``.
+    Accepts a mode (``auto`` | ``batched`` | ``sequential``), a
+    registered backend name (see
+    :func:`repro.gpusim.backend.backend_names`), or a hyphenated
+    combination such as ``sequential-interpreted``; omitted parts
+    default to ``auto`` and ``compiled``.
     """
     mode = backend = None
+    backends = backend_names()
     for part in str(spec).split("-"):
         if part in EXECUTION_MODES and mode is None:
             mode = part
-        elif part in EXECUTION_BACKENDS and backend is None:
+        elif part in backends and backend is None:
             backend = part
         else:
             raise ValueError(
                 f"unknown engine {spec!r}: expected a mode in "
                 f"{EXECUTION_MODES} and/or a backend in "
-                f"{EXECUTION_BACKENDS}, hyphen-separated"
+                f"{backends}, hyphen-separated"
             )
     return mode or "auto", backend or "compiled"
 
@@ -338,10 +343,10 @@ class Executor:
             raise ValueError(
                 f"mode must be one of {EXECUTION_MODES}, got {mode!r}"
             )
-        if backend not in EXECUTION_BACKENDS:
-            raise ValueError(
-                f"backend must be one of {EXECUTION_BACKENDS}, got {backend!r}"
-            )
+        #: Backend object resolved from the registry (raises ValueError
+        #: for unknown names); ``self.backend`` keeps the plain name for
+        #: profile metadata.
+        self._backend = get_backend(backend)
         self.device = device if device is not None else Device()
         self.check_races = check_races
         self.loop_cap = loop_cap or self.DEFAULT_LOOP_CAP
@@ -419,11 +424,7 @@ class Executor:
         mode = self.execution_mode(step)
         profile.meta["exec.mode"] = mode
         profile.meta["exec.backend"] = self.backend
-        trace = None
-        if self.backend == "compiled":
-            from .compile import compile_kernel  # lazy: avoids import cycle
-
-            trace = compile_kernel(kernel).trace
+        trace = self._backend.trace(kernel)
         with get_tracer().span(
             "exec.launch",
             kernel=kernel.name,

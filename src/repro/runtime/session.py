@@ -137,7 +137,13 @@ class ReductionFramework:
     # -- functional execution -------------------------------------------------
 
     def build(self, version, n: int, tunables: Tunables = None):
-        return build_plan_cached(self.pre, self.resolve(version), n, tunables)
+        return build_plan_cached(
+            self.pre,
+            self.resolve(version),
+            n,
+            tunables,
+            backend=self.engine_backend,
+        )
 
     @property
     def dtype(self):
@@ -165,11 +171,13 @@ class ReductionFramework:
         if data.ndim != 1 or data.size == 0:
             raise ValueError("run() needs a non-empty 1-D array")
         resolved = self.resolve(version)
-        plan = build_plan_cached(self.pre, resolved, data.size, tunables)
         if engine_mode is None:
             mode, backend = self.engine_mode, self.engine_backend
         else:
             mode, backend = parse_engine_spec(engine_mode)
+        plan = build_plan_cached(
+            self.pre, resolved, data.size, tunables, backend=backend
+        )
         executor = Executor(mode=mode, backend=backend)
         executor.device.upload("in", data)
         profile = executor.run_plan(plan)
@@ -216,7 +224,13 @@ class ReductionFramework:
         with get_tracer().span(
             "sweep.point", version=resolved.identifier, n=int(n)
         ):
-            plan = build_plan_cached(self.pre, resolved, n, tunables)
+            plan = build_plan_cached(
+                self.pre,
+                resolved,
+                n,
+                tunables,
+                backend=self.engine_backend,
+            )
             profile = _profile_plan(
                 plan,
                 n,

@@ -18,9 +18,10 @@ from .lint import lint_plan
 from .negatives import all_negatives
 
 #: One spec per execution mode and per dispatch backend: the sweep
-#: crosses both engines and both backends without running all four
-#: combinations per variant.
-DEFAULT_ENGINES = ("batched-compiled", "sequential-interpreted")
+#: covers every backend and both execution modes without running the
+#: full mode×backend cross product per variant.
+DEFAULT_ENGINES = ("batched-compiled", "sequential-interpreted",
+                   "batched-vector")
 
 DEFAULT_OPS = ("add", "max", "min")
 DEFAULT_CTYPES = ("float", "int")

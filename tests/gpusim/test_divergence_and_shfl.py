@@ -13,6 +13,8 @@ COMBOS = [
     ("sequential", "compiled"),
     ("batched", "interpreted"),
     ("batched", "compiled"),
+    ("sequential", "vector"),
+    ("batched", "vector"),
 ]
 
 

@@ -1,0 +1,231 @@
+"""Vector (fused-region) backend: bit-identical to compiled/interpreted.
+
+The vector backend re-partitions each compiled closure trace into
+maximal straight-line regions and executes every region as one
+generated numpy mega-expression; eligible While loops additionally
+megafuse into a single generated Python loop (registers live in SSA
+locals, gather indices resolve as ``base + offset`` without ever being
+materialized). Its contract is the same as every backend behind
+:class:`repro.gpusim.backend.Backend`: bit-identical results AND
+identical per-step event counters against both predecessors, for every
+Figure 6 version, op, element type and execution mode, with and
+without the sanitizer attached. These tests also lock the plan cache's
+backend keying (a plan pre-warmed for one backend must be a cache miss
+for another) and the fusion statistics surfaced by ``repro stats``.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.codegen import Tunables, build_plan_cached, plan_key
+from repro.gpusim import Executor, compile_kernel, fuse_kernel
+from repro.gpusim.fuse import trace_instrs
+from repro.perf import default_plan_cache
+from repro.runtime import ReductionFramework
+
+FIG6_LABELS = "abcdefghijklmnop"
+OPS = ("add", "max", "min")
+CTYPES = ("float", "int")
+MODES = ("sequential", "batched")
+
+
+def _tunables(version):
+    if version.block_kind == "coop":
+        return Tunables(block=64)
+    return Tunables(block=64, grid=8)
+
+
+def _data(ctype, n, seed=7):
+    rng = np.random.default_rng(seed)
+    if ctype == "int":
+        return rng.integers(-50, 50, size=n).astype(np.int32)
+    return rng.random(n).astype(np.float32)
+
+
+def _run(plan, data, mode="auto", backend="compiled", sanitizer=None):
+    executor = Executor(mode=mode, backend=backend, sanitizer=sanitizer)
+    executor.device.upload("in", data)
+    return executor.run_plan(plan)
+
+
+def _assert_profiles_identical(ref, got):
+    assert got.result == ref.result  # bit-identical, no tolerance
+    assert len(got.steps) == len(ref.steps)
+    for r, g in zip(ref.steps, got.steps):
+        assert dict(g.events) == dict(r.events), r.kernel_name
+
+
+@pytest.fixture(scope="module")
+def frameworks():
+    return {
+        (op, ctype): ReductionFramework(op=op, ctype=ctype)
+        for op, ctype in itertools.product(OPS, CTYPES)
+    }
+
+
+class TestFigure6VectorEquivalence:
+    @pytest.mark.parametrize("label", sorted(FIG6_LABELS))
+    @pytest.mark.parametrize("ctype", CTYPES)
+    @pytest.mark.parametrize("op", OPS)
+    def test_results_and_events_identical(self, frameworks, label, op, ctype):
+        """Exhaustive: every Fig. 6 version × op × element type, both
+        modes, vector vs compiled (itself locked to the interpreter)."""
+        fw = frameworks[(op, ctype)]
+        n = 3333
+        data = _data(ctype, n)
+        version = fw.resolve(label)
+        plan = fw.build(version, n, _tunables(version))
+        for mode in MODES:
+            ref = _run(plan, data, mode=mode, backend="compiled")
+            got = _run(plan, data, mode=mode, backend="vector")
+            _assert_profiles_identical(ref, got)
+
+
+class TestVectorAfterEveryPredecessor:
+    """A vector run must be unperturbed by which backend warmed the
+    shared kernels first: artifact memos are per backend and must not
+    leak state across (mode × backend) predecessor combinations."""
+
+    PREDECESSORS = [
+        ("sequential", "interpreted"),
+        ("sequential", "compiled"),
+        ("batched", "interpreted"),
+        ("batched", "compiled"),
+    ]
+
+    @pytest.mark.parametrize("san", [False, True])
+    @pytest.mark.parametrize("pre_mode,pre_backend", PREDECESSORS)
+    def test_vector_matches_after_predecessor(
+        self, frameworks, pre_mode, pre_backend, san
+    ):
+        from repro.sanitize import Sanitizer
+
+        fw = frameworks[("add", "float")]
+        n = 2048
+        data = _data("float", n)
+        plan = fw.build("b", n, Tunables(block=64, grid=8))
+        ref = _run(
+            plan, data, mode=pre_mode, backend=pre_backend,
+            sanitizer=Sanitizer() if san else None,
+        )
+        got = _run(
+            plan, data, mode="batched", backend="vector",
+            sanitizer=Sanitizer() if san else None,
+        )
+        _assert_profiles_identical(ref, got)
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_sanitized_vector_reports_match_compiled(self, frameworks, mode):
+        """Same diagnostics (kind, kernel) with the sanitizer attached
+        to a vector executor as to a compiled one."""
+        from repro.sanitize import Sanitizer
+
+        fw = frameworks[("add", "float")]
+        n = 1024
+        data = _data("float", n)
+        plan = fw.build("d", n, Tunables(block=64, grid=4))
+        reports = {}
+        for backend in ("compiled", "vector"):
+            sanitizer = Sanitizer()
+            _run(plan, data, mode=mode, backend=backend, sanitizer=sanitizer)
+            reports[backend] = [
+                (d.kind, d.kernel) for d in sanitizer.diagnostics
+            ]
+        assert reports["vector"] == reports["compiled"]
+
+
+class TestPlanCacheBackendKeying:
+    def test_key_includes_backend(self):
+        fw = ReductionFramework(op="add")
+        v = fw.resolve("b")
+        t = Tunables(block=64, grid=8)
+        assert plan_key(fw.pre, v, 4096, t, backend="compiled") != plan_key(
+            fw.pre, v, 4096, t, backend="vector"
+        )
+        # Default keeps the historical key: one shared plan per config.
+        assert plan_key(fw.pre, v, 4096, t) == plan_key(
+            fw.pre, v, 4096, t, backend="compiled"
+        )
+
+    def test_warm_backend_misses_other_backend(self):
+        """A plan pre-warmed for one backend is a miss for the other:
+        same config, different backend, distinct plan entries."""
+        fw = ReductionFramework(op="add")
+        v = fw.resolve("b")
+        t = Tunables(block=96, grid=7)  # unlikely to be cached already
+        cache = default_plan_cache()
+        p_compiled = build_plan_cached(fw.pre, v, 4100, t)
+        misses = cache.stats.misses
+        p_vector = build_plan_cached(fw.pre, v, 4100, t, backend="vector")
+        assert cache.stats.misses == misses + 1  # not served from warm
+        assert p_vector is not p_compiled
+        # Hitting each key again returns the same object per backend.
+        assert build_plan_cached(fw.pre, v, 4100, t) is p_compiled
+        assert (
+            build_plan_cached(fw.pre, v, 4100, t, backend="vector")
+            is p_vector
+        )
+
+    def test_vector_plan_is_prewarmed_with_fused_regions(self):
+        from repro.gpusim.fuse import _FUSE_MEMO
+
+        fw = ReductionFramework(op="add")
+        plan = build_plan_cached(
+            fw.pre, fw.resolve("p"), 2223, Tunables(block=64),
+            backend="vector",
+        )
+        for step in plan.kernel_steps():
+            assert id(step.kernel) in _FUSE_MEMO
+
+    def test_framework_engine_spec_selects_backend(self):
+        """A framework constructed with a vector engine spec builds
+        (and pre-warms) vector-keyed plans."""
+        t = Tunables(block=64, grid=8)
+        fw_vec = ReductionFramework(op="add", engine="batched-vector")
+        fw_def = ReductionFramework(op="add")
+        assert fw_vec.build("b", 4096, t) is not fw_def.build("b", 4096, t)
+
+
+class TestFusionStatistics:
+    def test_partition_and_loop_fusion_stats(self):
+        fw = ReductionFramework(op="add")
+        plan = fw.build("b", 1 << 14, Tunables(block=256, grid=8))
+        for step in plan.kernel_steps():
+            fused = fuse_kernel(step.kernel)
+            stats = fused.stats
+            assert stats["fused_regions"] >= 1
+            assert stats["max_region_len"] >= 2
+            assert stats["specialized"]["ld_global"] >= 1
+            # The tiled accumulation loop megafuses into one generated
+            # Python loop (regions + specialized loads only).
+            assert stats["specialized"]["loop"] >= 1
+            assert stats["dead_stores"] >= 1
+            # The region list partitions the compiled trace exactly.
+            compiled = compile_kernel(step.kernel)
+            flat = [id(i) for i in trace_instrs(compiled.trace)]
+            regioned = [
+                id(i) for r in fused.regions for i in r.instrs
+            ]
+            assert sorted(flat) == sorted(regioned)
+
+    def test_megafused_loop_out_of_bounds_matches_compiled(self):
+        """The affine load path raises the engine's exact bounds error
+        (message included) when the shifted index range escapes."""
+        from repro.gpusim import SimulationError
+
+        fw = ReductionFramework(op="add")
+        n = 4096
+        plan = fw.build("b", n, Tunables(block=64, grid=8))
+        data = _data("float", n)
+        errors = {}
+        for backend in ("compiled", "vector"):
+            executor = Executor(mode="batched", backend=backend)
+            # Undersized buffer: the strided accumulation loop must
+            # fault identically however the gather is performed.
+            executor.device.upload("in", data[: n // 2])
+            with pytest.raises(SimulationError) as exc:
+                executor.run_plan(plan)
+            errors[backend] = str(exc.value)
+        assert errors["vector"] == errors["compiled"]

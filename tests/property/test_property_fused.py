@@ -1,0 +1,108 @@
+"""Property-based contract of the region former and vector backend.
+
+Hypothesis draws (version, op, element type, size, launch shape)
+points and asserts two properties:
+
+* **Partition** — the fused region list is an exact partition of the
+  compiled closure trace: the identity-multiset of instructions across
+  all regions equals the trace's (unrolled splices included), and
+  every region boundary sits at a documented boundary kind (barrier,
+  shuffle, memory, atomic, control) — fusible ALU ops only ever appear
+  inside ``fused`` / ``single-alu`` cells.
+* **Equivalence** — executing the fused trace is bit-identical to the
+  compiled backend in results and per-step event counters.
+"""
+
+import numpy as np
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.codegen import Tunables
+from repro.gpusim import Executor, compile_kernel, fuse_kernel
+from repro.gpusim.fuse import BOUNDARY_KINDS, FUSIBLE_OPS, trace_instrs
+from repro.runtime import ReductionFramework
+
+_FRAMEWORKS = {}
+
+
+def _framework(op, ctype):
+    key = (op, ctype)
+    if key not in _FRAMEWORKS:
+        _FRAMEWORKS[key] = ReductionFramework(op=op, ctype=ctype)
+    return _FRAMEWORKS[key]
+
+
+def _data(rng, ctype, n):
+    if ctype == "int":
+        return rng.integers(-1000, 1000, size=n).astype(np.int32)
+    return (rng.random(n).astype(np.float32) - np.float32(0.5)) * 8
+
+
+def _run(plan, data, mode, backend):
+    executor = Executor(mode=mode, backend=backend)
+    executor.device.upload("in", data)
+    return executor.run_plan(plan)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    label=st.sampled_from(sorted("abcdefghijklmnop")),
+    op=st.sampled_from(["add", "max", "min"]),
+    ctype=st.sampled_from(["float", "int"]),
+    n=st.integers(min_value=33, max_value=4096),
+    block=st.sampled_from([32, 64, 128]),
+    grid=st.integers(min_value=2, max_value=10),
+)
+def test_regions_partition_the_trace(label, op, ctype, n, block, grid):
+    fw = _framework(op, ctype)
+    version = fw.resolve(label)
+    if version.block_kind == "coop":
+        tunables = Tunables(block=block)
+    else:
+        tunables = Tunables(block=block, grid=grid)
+    plan = fw.build(version, n, tunables)
+    for step in plan.kernel_steps():
+        compiled = compile_kernel(step.kernel)
+        fused = fuse_kernel(step.kernel)
+        flat = sorted(id(i) for i in trace_instrs(compiled.trace))
+        regioned = sorted(
+            id(i) for region in fused.regions for i in region.instrs
+        )
+        assert regioned == flat  # a partition: nothing lost, nothing doubled
+        for region in fused.regions:
+            if region.kind in ("fused", "single-alu"):
+                assert all(isinstance(i, FUSIBLE_OPS) for i in region.instrs)
+            else:
+                assert len(region.instrs) == 1
+                instr = region.instrs[0]
+                assert not isinstance(instr, FUSIBLE_OPS)
+                kind = BOUNDARY_KINDS.get(type(instr), "other")
+                assert region.kind == kind
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    label=st.sampled_from(sorted("abcdefghijklmnop")),
+    op=st.sampled_from(["add", "max", "min"]),
+    ctype=st.sampled_from(["float", "int"]),
+    n=st.integers(min_value=33, max_value=4096),
+    block=st.sampled_from([32, 64, 128]),
+    grid=st.integers(min_value=2, max_value=10),
+    mode=st.sampled_from(["sequential", "batched"]),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_vector_equals_compiled(label, op, ctype, n, block, grid, mode, seed):
+    fw = _framework(op, ctype)
+    version = fw.resolve(label)
+    if version.block_kind == "coop":
+        tunables = Tunables(block=block)
+    else:
+        tunables = Tunables(block=block, grid=grid)
+    plan = fw.build(version, n, tunables)
+    data = _data(np.random.default_rng(seed), ctype, n)
+
+    ref = _run(plan, data, mode, "compiled")
+    got = _run(plan, data, mode, "vector")
+    assert got.result == ref.result
+    for r, g in zip(ref.steps, got.steps):
+        assert dict(g.events) == dict(r.events), r.kernel_name
