@@ -13,21 +13,28 @@ Measures the mechanisms of docs/PERFORMANCE.md on this machine:
 3. the vector backend (fused-region mega-expressions + megafused
    loops, see ``repro.gpusim.fuse``) on the same launch, with the
    one-time fusion cost and the fusion statistics recorded;
-4. cold vs warm ``best_version`` sweeps through the unified profile
+4. the native backend (generated C compiled into per-plan shared
+   libraries, see ``repro.gpusim.native``) on the same launch, with
+   the one-time lower+compile cost and the lowering statistics — this
+   leg is skipped (and recorded as unavailable) on hosts without a C
+   toolchain;
+5. cold vs warm ``best_version`` sweeps through the unified profile
    cache across several paper sizes;
-5. the disabled-tracer fast path of :mod:`repro.obs` — instrumentation
+6. the disabled-tracer fast path of :mod:`repro.obs` — instrumentation
    must cost nothing when ``REPRO_TRACE`` is unset, so the per-call
    overhead of a no-op ``tracer.span()`` is measured and bounded.
 
 Results go to ``BENCH_searchspace.json`` at the repository root so the
 speedups are tracked alongside the code. Headline ratios asserted:
 batched >= 2x sequential, compiled >= 2x the batched interpreter,
-vector >= 3x compiled (and within 25% of the committed snapshot's
-ratio), and the warm sweep still beats cold (the compiled executor
-made cold points so cheap — ~0.1 ms each — that the old 5x cache
-ratio is now bounded by the timing-model floor, not by simulation).
+vector >= 3x compiled, native >= 2x vector (each within 25% of the
+committed snapshot's ratio), and the warm sweep still beats cold (the
+compiled executor made cold points so cheap — ~0.1 ms each — that the
+old 5x cache ratio is now bounded by the timing-model floor, not by
+simulation).
 """
 
+import gc
 import json
 import time
 from pathlib import Path
@@ -80,17 +87,17 @@ def _profile_large(mode: str, backend: str, reps: int = 3) -> float:
     return best
 
 
-def _profile_large_pair(reps: int = 25):
-    """Warm (compiled_s, vector_s) for the LARGE_N profile, interleaved.
+def _profile_large_pair(backends=("compiled", "vector"), reps: int = 25):
+    """Warm per-backend seconds for the LARGE_N profile, interleaved.
 
-    The headline vector-vs-compiled ratio is asserted hard (>= 3x), so
-    the two legs are timed *alternately* within the same loop: machine
-    drift (load spikes, frequency scaling) then hits both backends in
-    the same phase and cancels out of the ratio, where back-to-back
+    The headline backend-vs-backend ratios are asserted hard, so the
+    legs are timed *alternately* within the same loop: machine drift
+    (load spikes, frequency scaling) then hits every backend in the
+    same phase and cancels out of the ratio, where back-to-back
     min-of-N blocks would let a slow phase land on only one leg.
     """
     runs = {}
-    for backend in ("compiled", "vector"):
+    for backend in backends:
         fw = ReductionFramework(
             op="add", cache=ProfileCache(), engine=f"batched-{backend}"
         )
@@ -99,12 +106,20 @@ def _profile_large_pair(reps: int = 25):
         executor.device.alloc("in", LARGE_N, dtype=np.float32)
         executor.run_plan(plan)  # untimed warm-up launch
         runs[backend] = (executor, plan, [])
-    for _ in range(reps):
-        for executor, plan, times in runs.values():
-            start = time.perf_counter()
-            executor.run_plan(plan)
-            times.append(time.perf_counter() - start)
-    return min(runs["compiled"][2]), min(runs["vector"][2])
+    # Collector hygiene, same for every leg: a gen-2 pass landing mid
+    # launch adds a constant ~0.2ms that is pure heap-size noise, and a
+    # constant added to both sides of a ratio always drags it toward 1.
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(reps):
+            for executor, plan, times in runs.values():
+                start = time.perf_counter()
+                executor.run_plan(plan)
+                times.append(time.perf_counter() - start)
+    finally:
+        gc.enable()
+    return tuple(min(runs[backend][2]) for backend in backends)
 
 
 def _compile_cold() -> float:
@@ -142,6 +157,34 @@ def _fuse_cold():
         "dead_stores": stats["dead_stores"],
         "megafused_loops": stats["specialized"]["loop"],
         "specialized": dict(stats["specialized"]),
+    }
+
+
+def _lower_cold():
+    """Seconds for native lowering + C compilation on freshly compiled
+    and fused kernels (the extra one-time cost a native-keyed
+    plan-cache miss pays on top of fusion; the `.so` disk cache
+    amortizes the compile across processes), plus the lowering
+    statistics of the main reduction kernel."""
+    from repro.gpusim.native import lower_kernel
+
+    fw = ReductionFramework(op="add", cache=ProfileCache())
+    version = fw.resolve("b")
+    plan = build_plan(fw.pre, version, LARGE_N, LARGE_TUNABLES)
+    kernels = [step.kernel for step in plan.kernel_steps()]
+    for kernel in kernels:
+        compile_kernel(kernel)  # lowering input, not part of the cost
+        fuse_kernel(kernel)
+    start = time.perf_counter()
+    lowered = [lower_kernel(kernel) for kernel in kernels]
+    elapsed = time.perf_counter() - start
+    stats = lowered[0].stats
+    return elapsed, {
+        key: stats[key]
+        for key in (
+            "native_regions", "native_loops", "native_shfls",
+            "native_chains", "native_fallbacks",
+        )
     }
 
 
@@ -192,11 +235,44 @@ def _noop_tracer_overhead() -> float:
 
 
 def measure():
+    from repro.gpusim.native import native_available, unavailable_reason
+
+    # The native ratio gets its own interleaved pair, timed FIRST:
+    # vector is re-timed alongside native so drift cancels out of
+    # *this* ratio too (the earlier vector number pairs with
+    # compiled), and the pair runs before the interpreter legs bloat
+    # the heap — their per-lane index arrays leave the allocator in a
+    # state that adds a constant ~0.1ms to every later launch, which
+    # compresses the fastest pair's ratio the most.
+    have_native = native_available()
+    if have_native:
+        vector_vs_native_s, native_s = _profile_large_pair(
+            ("vector", "native")
+        )
+
     sequential_s = _profile_large("sequential", "interpreted")
     batched_s = _profile_large("batched", "interpreted")
     compiled_s, vector_s = _profile_large_pair()
     compile_cold_s = _compile_cold()
     fuse_cold_s, fusion = _fuse_cold()
+
+    if have_native:
+        lower_cold_s, lowering = _lower_cold()
+        native_section = {
+            "available": True,
+            "version": "b",
+            "n": LARGE_N,
+            "vector_warm_s": round(vector_vs_native_s, 4),
+            "native_warm_s": round(native_s, 4),
+            "lower_cold_s": round(lower_cold_s, 4),
+            "speedup_vs_vector": round(vector_vs_native_s / native_s, 2),
+            "lowering": lowering,
+        }
+    else:
+        native_section = {
+            "available": False,
+            "reason": unavailable_reason(),
+        }
 
     fw = ReductionFramework(op="add", cache=ProfileCache())
     cold_s = _sweep(fw)
@@ -234,6 +310,7 @@ def measure():
             "speedup_vs_compiled": round(compiled_s / vector_s, 2),
             "fusion": fusion,
         },
+        "native_backend": native_section,
         "best_version_sweep": {
             "cold_s": round(cold_s, 4),
             "warm_s": round(warm_s, 4),
@@ -248,23 +325,44 @@ def measure():
     }
 
 
-def _committed_vector_speedup():
-    """speedup_vs_compiled from the committed snapshot, or None."""
+def _committed_speedup(section, key):
+    """A speedup ratio from the committed snapshot, or None."""
     try:
         committed = json.loads(SNAPSHOT_PATH.read_text())
-        return committed["vector_backend"]["speedup_vs_compiled"]
+        return committed[section][key]
     except (OSError, KeyError, ValueError):
         return None
 
 
 def test_simperf_snapshot(benchmark):
-    committed_speedup = _committed_vector_speedup()
+    committed_speedup = _committed_speedup(
+        "vector_backend", "speedup_vs_compiled"
+    )
+    committed_native = _committed_speedup(
+        "native_backend", "speedup_vs_vector"
+    )
     data = once(benchmark, measure)
     SNAPSHOT_PATH.write_text(json.dumps(data, indent=2) + "\n")
     large = data["profile_large"]
     compiled = data["compiled_executor"]
     vector = data["vector_backend"]
+    native = data["native_backend"]
     sweep = data["best_version_sweep"]
+    if native["available"]:
+        native_lines = [
+            f"  native (generated-C) backend on the same launch:",
+            f"    vector {native['vector_warm_s']:.3f}s   "
+            f"native {native['native_warm_s']:.3f}s   "
+            f"({native['speedup_vs_vector']:.1f}x; one-time lower+compile "
+            f"{native['lower_cold_s']:.3f}s; "
+            f"{native['lowering']['native_regions']} regions, "
+            f"{native['lowering']['native_loops']} loop(s), "
+            f"{native['lowering']['native_chains']} chain(s))",
+        ]
+    else:
+        native_lines = [
+            f"  native backend: unavailable ({native['reason']})",
+        ]
     write_table(
         "simperf",
         [
@@ -285,6 +383,7 @@ def test_simperf_snapshot(benchmark):
             f"{vector['fuse_cold_s']:.3f}s; "
             f"{vector['fusion']['fused_regions']} regions, "
             f"{vector['fusion']['megafused_loops']} megafused loop(s))",
+            *native_lines,
             f"  best_version sweep over {data['versions_swept']} versions"
             f" x {len(data['sweep_sizes'])} sizes:",
             f"    cold {sweep['cold_s']:.3f}s   warm {sweep['warm_s']:.3f}s"
@@ -303,14 +402,25 @@ def test_simperf_snapshot(benchmark):
         "the fused-region vector backend must beat the compiled "
         "backend 3x on the 1M profile (ISSUE acceptance)"
     )
+    if native["available"]:
+        assert native["speedup_vs_vector"] >= 2.0, (
+            "the native codegen backend must beat the vector backend "
+            "2x warm on the 1M profile (ISSUE acceptance)"
+        )
     # Regression smoke against the committed snapshot: the speedup
-    # ratio is compared (not absolute seconds) so the check holds
+    # ratios are compared (not absolute seconds) so the checks hold
     # across machines of different speeds.
     if committed_speedup is not None:
         assert vector["speedup_vs_compiled"] >= 0.75 * committed_speedup, (
             f"fused 1M profile regressed >25% vs committed snapshot "
             f"({vector['speedup_vs_compiled']}x now, "
             f"{committed_speedup}x committed)"
+        )
+    if native["available"] and committed_native is not None:
+        assert native["speedup_vs_vector"] >= 0.75 * committed_native, (
+            f"native 1M profile regressed >25% vs committed snapshot "
+            f"({native['speedup_vs_vector']}x now, "
+            f"{committed_native}x committed)"
         )
     # Cold profiling collapsed from ~0.5s to ~10ms with the compiled
     # executor + plan cache, so warm/cold is no longer simulation-bound;

@@ -205,7 +205,11 @@ def cmd_sanitize(args) -> int:
         sweep_catalog,
     )
 
-    engines = tuple(args.engine.split(","))
+    from .sanitize import default_engines
+
+    engines = (
+        tuple(args.engine.split(",")) if args.engine else default_engines()
+    )
     versions = args.versions.split(",") if args.versions else None
     ops = (args.op,) if args.op != "all" else ("add", "max", "min")
     ctypes = (args.ctype,) if args.ctype != "all" else ("float", "int")
@@ -395,9 +399,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: the full catalog)")
     from .sanitize.report import DEFAULT_ENGINES
 
-    p.add_argument("--engine", default=",".join(DEFAULT_ENGINES),
+    p.add_argument("--engine", default=None,
                    help="comma-separated engine specs to execute under "
-                        f"(default: {','.join(DEFAULT_ENGINES)})")
+                        f"(default: {','.join(DEFAULT_ENGINES)}, plus "
+                        "batched-native when a C toolchain is present)")
     p.add_argument("--no-lint", dest="lint", action="store_false",
                    help="skip the static VIR lint pass")
     p.add_argument("--negatives", action="store_true",

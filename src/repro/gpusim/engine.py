@@ -187,7 +187,10 @@ def parse_engine_spec(spec):
     registered backend name (see
     :func:`repro.gpusim.backend.backend_names`), or a hyphenated
     combination such as ``sequential-interpreted``; omitted parts
-    default to ``auto`` and ``compiled``.
+    default to ``auto`` and ``compiled``.  A backend that is registered
+    but unavailable on this machine (e.g. ``native`` without a C
+    compiler) is rejected here with the reason, so CLI errors say
+    exactly what is missing.
     """
     mode = backend = None
     backends = backend_names()
@@ -202,6 +205,8 @@ def parse_engine_spec(spec):
                 f"{EXECUTION_MODES} and/or a backend in "
                 f"{backends}, hyphen-separated"
             )
+    if backend is not None:
+        get_backend(backend)  # raises with a reason when unavailable
     return mode or "auto", backend or "compiled"
 
 
@@ -218,6 +223,21 @@ def memoize_by_identity(memo: dict, obj, build):
     ref = weakref.ref(obj, lambda _ref, _key=key: memo.pop(_key, None))
     memo[key] = (ref, value)
     return value
+
+
+#: Launch-hot caches over immutable-once-executed objects (see
+#: :func:`memoize_by_identity` for the recycled-id guard).
+_PLAN_VALIDATED = {}
+_REGISTER_COUNTS = {}
+
+
+def _validate_plan(plan):
+    plan.validate()
+    return True
+
+
+def _count_registers(kernel):
+    return kernel.register_count()
 
 
 def _walk_while_depth(body, in_while=False):
@@ -367,7 +387,11 @@ class Executor:
         execute; when it kicks in, the profile is marked sampled and the
         numeric result is not meaningful.
         """
-        plan.validate()
+        # Kernels and plans are immutable once executed (the compile /
+        # fuse / native-lowering memos already rely on this), so the
+        # structural validation walk runs once per plan object rather
+        # than on every launch.
+        memoize_by_identity(_PLAN_VALIDATED, plan, _validate_plan)
         dtype = np.dtype(plan.meta.get("dtype", "float32"))
         for name, size in plan.scratch.items():
             if name not in self.device:
@@ -410,7 +434,9 @@ class Executor:
             grid=step.grid,
             block=step.block,
             shared_bytes=kernel.shared_bytes(),
-            registers=kernel.register_count(),
+            registers=memoize_by_identity(
+                _REGISTER_COUNTS, kernel, _count_registers
+            ),
             meta=dict(kernel.meta),
         )
         if sample_limit is not None and step.grid > sample_limit:

@@ -660,6 +660,12 @@ def _row_core(state, value):
     return None
 
 
+#: Replay totals keyed by the (tiny) active-lane/address pattern; the
+#: same shared-op closures replay identical patterns every launch, so
+#: the unique/bincount pipeline runs once per pattern, not per call.
+_ROW_REPLAY_MEMO = {}
+
+
 def _row_replays(state, cols, addrs):
     """Bank replays of one block row, scaled by the block count.
 
@@ -667,17 +673,22 @@ def _row_replays(state, cols, addrs):
     engine's replay groups (block, warp) never span blocks — so the
     per-block totals are identical and the ``np.unique`` over all
     active lanes collapses to one over a single row's actives."""
-    gidr = state._warp_of_lane[cols]
-    span = int(addrs.max()) + 1
-    unique_keys = np.unique(gidr * span + addrs)
-    ugroup = unique_keys // span
-    ubank = (unique_keys % span) % 32
-    ngroups = int(ugroup[-1]) + 1
-    counts = np.bincount(
-        ugroup * 32 + ubank, minlength=ngroups * 32
-    ).reshape(ngroups, 32)
-    present = counts.any(axis=1)
-    total = int(counts.max(axis=1)[present].sum()) - int(present.sum())
+    key = (state.nthreads, cols.tobytes(), addrs.tobytes())
+    total = _ROW_REPLAY_MEMO.get(key)
+    if total is None:
+        gidr = state._warp_of_lane[cols]
+        span = int(addrs.max()) + 1
+        unique_keys = np.unique(gidr * span + addrs)
+        ugroup = unique_keys // span
+        ubank = (unique_keys % span) % 32
+        ngroups = int(ugroup[-1]) + 1
+        counts = np.bincount(
+            ugroup * 32 + ubank, minlength=ngroups * 32
+        ).reshape(ngroups, 32)
+        present = counts.any(axis=1)
+        total = int(counts.max(axis=1)[present].sum()) - int(present.sum())
+        if len(_ROW_REPLAY_MEMO) < 4096:
+            _ROW_REPLAY_MEMO[key] = total
     if total:
         state.events["mem.shared.replays"] += total * state.nblocks
 
@@ -945,6 +956,49 @@ def _reg_operand_objs(instr):
             yield operand
 
 
+def _while_divergent_continue(
+    state, mask, cond, iterations, cond_trace, body_trace, cond_read
+):
+    """Divergent continuation of a fast While — the engine's
+    ``_exec_while_c`` body with the iteration count carried over;
+    ``cond`` is already evaluated.  While the condition stays
+    block-uniform (same columns active in every block row, e.g. a
+    ``tid < k`` guard), the active mask is kept as a broadcast view of
+    one row: the divergence reduceats accept views, and downstream
+    closures (shared ops, Ifs) see the zero block stride and take
+    their column paths.  Shared with the native backend's lowered
+    loops, which return here on the first mixed condition."""
+    cap = state.executor.loop_cap
+    row_active = None
+    if len(state.shape) == 2:
+        row_active = np.ones(state.nthreads, dtype=bool)
+    active = mask
+    while True:
+        cond = np.asarray(cond, dtype=bool)
+        rowc = None if row_active is None else _row_core(state, cond)
+        if rowc is not None:
+            row_active = row_active & rowc
+            staying = np.broadcast_to(row_active, state.shape)
+        else:
+            row_active = None
+            if cond.shape != state.shape:
+                cond = np.broadcast_to(cond, state.shape)
+            staying = active & cond
+        state._count_loop_divergence(active, staying)
+        active = staying
+        if not active.any():
+            return
+        iterations += 1
+        if iterations > cap:
+            raise SimulationError(
+                f"kernel {state.kernel.name!r}: loop exceeded "
+                f"iteration cap ({cap})"
+            )
+        state._run_trace(body_trace, active)
+        state._run_trace(cond_trace, active)
+        cond = cond_read(state)
+
+
 def _c_while_fast(instr, cond_trace, body_trace, kernel_name=None, index=0):
     """While loop with the per-iteration mask machinery elided as long
     as the mask provably cannot change.
@@ -1005,41 +1059,10 @@ def _c_while_fast(instr, cond_trace, body_trace, kernel_name=None, index=0):
                     )
                 for fn in body_trace:
                     fn(state, mask)
-        # Divergent continuation — the engine's _exec_while_c body with
-        # the iteration count carried over; `cond` is already evaluated.
-        # While the condition stays block-uniform (same columns active
-        # in every block row, e.g. a `tid < k` guard), the active mask
-        # is kept as a broadcast view of one row: the divergence
-        # reduceats accept views, and downstream closures (shared ops,
-        # Ifs) see the zero block stride and take their column paths.
-        row_active = None
-        if len(state.shape) == 2:
-            row_active = np.ones(state.nthreads, dtype=bool)
-        active = mask
-        while True:
-            cond = np.asarray(cond, dtype=bool)
-            rowc = None if row_active is None else _row_core(state, cond)
-            if rowc is not None:
-                row_active = row_active & rowc
-                staying = np.broadcast_to(row_active, state.shape)
-            else:
-                row_active = None
-                if cond.shape != state.shape:
-                    cond = np.broadcast_to(cond, state.shape)
-                staying = active & cond
-            state._count_loop_divergence(active, staying)
-            active = staying
-            if not active.any():
-                return
-            iterations += 1
-            if iterations > cap:
-                raise SimulationError(
-                    f"kernel {state.kernel.name!r}: loop exceeded "
-                    f"iteration cap ({cap})"
-                )
-            state._run_trace(body_trace, active)
-            state._run_trace(cond_trace, active)
-            cond = cond_read(state)
+        _while_divergent_continue(
+            state, mask, cond, iterations, cond_trace, body_trace,
+            cond_read,
+        )
 
     run._cond_trace = cond_trace
     run._body_trace = body_trace
@@ -1710,20 +1733,39 @@ def _c_atom_global_fast(instr):
             state._atom_global(instr, mask)
             return
         idx = state._global_indices(instr.idx, mask, buf)
-        active = idx.reshape(-1) if state._cur_all else idx[mask]
+        # Column-structured masks (broadcast row views, the shape every
+        # If hands its sides) select whole columns: the boolean fancy
+        # index over (blocks, threads) collapses to a column gather and
+        # the per-row activity reductions to one row.
+        row = None if state._cur_all else _col_row(state, mask)
+        cols = None if row is None else np.flatnonzero(row)
+        if state._cur_all:
+            active = idx.reshape(-1)
+        elif cols is not None:
+            active = np.ascontiguousarray(idx[:, cols]).reshape(-1)
+        else:
+            active = idx[mask]
         if active.size == 0 or not bool((active == active[0]).all()):
             state._atom_global(instr, mask)
             return
         address = int(active[0])
         src = state._value_array(instr.src, mask)
         arr = state.device.get(buf)
-        atomic_ufunc.at(arr, active, src[mask].astype(arr.dtype))
+        if cols is not None:
+            sel = np.ascontiguousarray(src[:, cols]).reshape(-1)
+        else:
+            sel = src[mask]
+        atomic_ufunc.at(arr, active, sel.astype(arr.dtype))
         state.events["atom.global.ops"] += active.size
         counts = state.atomic_addr_counts
         if len(counts) > _ATOMIC_TRACK_CAP:
             return
-        rows = np.flatnonzero(mask.any(axis=1))
-        per_row = mask.sum(axis=1)[rows]
+        if cols is not None:
+            rows = np.arange(state.nblocks)
+            per_row = np.full(state.nblocks, cols.size)
+        else:
+            rows = np.flatnonzero(mask.any(axis=1))
+            per_row = mask.sum(axis=1)[rows]
         block_ids = [int(state.block_ids[r]) for r in rows]
         key = (buf, address)
         entry = counts.get(key)

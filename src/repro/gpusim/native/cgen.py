@@ -1,0 +1,880 @@
+"""C source generation for fused regions and the shuffle gather.
+
+The native backend reuses :mod:`repro.gpusim.fuse`'s partition: each
+fused ALU region (a straight-line run of ``BinOp``/``UnOp``/``Mov``/
+``Sel``/``Special``/``LdParam``) is lowered to one C function over the
+run state's register arrays.  The generated code replicates the vector
+backend's *value semantics* exactly:
+
+* registers hold the promoted dtypes only — ``bool`` (uint8_t 0/1),
+  ``int64`` and ``float64`` — and every operation is emitted at the
+  dtype numpy promotion would produce (bools coerce to 0/1 int64 in
+  arithmetic, comparisons compare at the joined operand dtype, ...);
+* integer ``add``/``sub``/``mul``/``neg`` wrap modulo 2^64 through
+  unsigned casts, ``div``/``mod`` emulate ``np.floor_divide`` /
+  ``np.remainder`` including the zero-divisor -> 0 result, shifts mask
+  the count to 6 bits (the x86 behavior numpy's C loops inherit), and
+  ``min``/``max`` propagate NaN operands exactly like ``np.minimum`` /
+  ``np.maximum`` (``(a <= b || isnan(a)) ? a : b``);
+* every value is classified by *shape class* — scalar (S), lane row
+  (R), block column (C) or full (F) — mirroring the vector backend's
+  zero-stride broadcast views.  Outputs are written at their class's
+  core shape and re-broadcast by the Python glue, so downstream
+  closures observe the same stride structure the vector backend
+  produces.
+
+Static inference happens at plan-build time against an environment of
+register ``(dtype, class)`` facts threaded through the whole fused
+trace; anything the inference cannot prove (unknown dtypes after
+divergent merges, unsupported op/dtype combinations such as bitwise
+float math) simply keeps its vector closure.  The runtime glue
+re-validates every assumption per call (dtypes, stride classes,
+sanitizer off, full mask) and delegates to the wrapped vector closure
+on any mismatch, so the C path can never change results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...vir.instructions import (
+    BinOp,
+    Imm,
+    LdParam,
+    Mov,
+    Reg,
+    Sel,
+    Special,
+    UnOp,
+)
+from ..compile import _div
+
+# shape classes; bitwise-or is the lattice join (R|C == F).
+S, R, C, F = 0, 1, 2, 3
+
+_CORE_SHAPES = {S: (), R: "row", C: "col", F: "full"}
+
+#: special-register kind -> (dtype, class); mirrors fuse._sp cores.
+SPECIAL_INFO = {
+    "tid": ("i", R),
+    "laneid": ("i", R),
+    "warpid": ("i", R),
+    "ctaid": ("i", C),
+    "ntid": ("i", S),
+    "nctaid": ("i", S),
+}
+
+_DT_C = {"b": "uint8_t", "i": "int64_t", "f": "double"}
+_DT_NP = {"b": np.dtype(np.bool_), "i": np.dtype(np.int64),
+          "f": np.dtype(np.float64)}
+
+#: numpy comparison / logical ops (operands uncoerced, result bool).
+_CMP = frozenset({"lt", "le", "gt", "ge", "eq", "ne"})
+_CMP_C = {"lt": "<", "le": "<=", "gt": ">", "ge": ">=",
+          "eq": "==", "ne": "!="}
+
+#: global-buffer dtype codes shared with the generated ``nb_load``.
+BUF_CODES = {
+    np.dtype(np.float32): 0, np.dtype(np.float64): 1,
+    np.dtype(np.int32): 2, np.dtype(np.int64): 3,
+    np.dtype(np.uint32): 4, np.dtype(np.uint64): 5,
+    np.dtype(np.int16): 6, np.dtype(np.uint16): 7,
+    np.dtype(np.int8): 8, np.dtype(np.uint8): 9,
+}
+
+PREAMBLE = r"""
+#include <stdint.h>
+#include <math.h>
+
+#define EXPORT __attribute__((visibility("default")))
+
+static inline int64_t i64_add(int64_t a, int64_t b)
+{ return (int64_t)((uint64_t)a + (uint64_t)b); }
+static inline int64_t i64_sub(int64_t a, int64_t b)
+{ return (int64_t)((uint64_t)a - (uint64_t)b); }
+static inline int64_t i64_mul(int64_t a, int64_t b)
+{ return (int64_t)((uint64_t)a * (uint64_t)b); }
+static inline int64_t i64_neg(int64_t a)
+{ return (int64_t)(0u - (uint64_t)a); }
+static inline int64_t i64_shl(int64_t a, int64_t b)
+{ return (int64_t)((uint64_t)a << ((uint64_t)b & 63)); }
+static inline int64_t i64_shr(int64_t a, int64_t b)
+{ return a >> ((uint64_t)b & 63); }
+/* np.floor_divide: floor quotient, 0 on zero divisor.  The -1 divisor
+ * is handled before the hardware divide: INT64_MIN / -1 traps on x86,
+ * while numpy wraps (and -a is exact for every other dividend). */
+static inline int64_t i64_fdiv(int64_t a, int64_t b)
+{
+    int64_t q, r;
+    if (b == 0) return 0;
+    if (b == -1) return i64_neg(a);
+    q = a / b; r = a % b;
+    if (r != 0 && ((r < 0) != (b < 0))) q -= 1;
+    return q;
+}
+/* np.remainder: sign of divisor, 0 on zero divisor (or -1: the
+ * remainder is always 0, and INT64_MIN % -1 traps on x86). */
+static inline int64_t i64_fmod(int64_t a, int64_t b)
+{
+    int64_t r;
+    if (b == 0 || b == -1) return 0;
+    r = a % b;
+    if (r != 0 && ((r < 0) != (b < 0))) r += b;
+    return r;
+}
+static inline double d_fmod_np(double a, double b)
+{
+    double r = fmod(a, b);
+    if (r != 0.0 && ((r < 0.0) != (b < 0.0))) r += b;
+    return r;
+}
+static inline int64_t i64_min(int64_t a, int64_t b) { return a < b ? a : b; }
+static inline int64_t i64_max(int64_t a, int64_t b) { return a > b ? a : b; }
+/* numpy minimum/maximum NaN propagation: (a <= b || isnan(a)) ? a : b */
+static inline double d_min_np(double a, double b)
+{ return (a <= b || isnan(a)) ? a : b; }
+static inline double d_max_np(double a, double b)
+{ return (a >= b || isnan(a)) ? a : b; }
+
+/* global-buffer element load, converted to float64 like the engine. */
+static const int64_t nb_item[10] = {4, 8, 4, 8, 4, 8, 2, 2, 1, 1};
+static inline double nb_load(const void *p, int64_t code, int64_t i)
+{
+    switch (code) {
+    case 0: return (double)((const float *)p)[i];
+    case 1: return ((const double *)p)[i];
+    case 2: return (double)((const int32_t *)p)[i];
+    case 3: return (double)((const int64_t *)p)[i];
+    case 4: return (double)((const uint32_t *)p)[i];
+    case 5: return (double)((const uint64_t *)p)[i];
+    case 6: return (double)((const int16_t *)p)[i];
+    case 7: return (double)((const uint16_t *)p)[i];
+    case 8: return (double)((const int8_t *)p)[i];
+    default: return (double)((const uint8_t *)p)[i];
+    }
+}
+"""
+
+
+class Unsupported(Exception):
+    """An instruction the C emitter cannot lower (bad op/dtype combo)."""
+
+
+def join_dt(a, b):
+    """Promotion join for *uncoerced* operands (b < i < f)."""
+    if a is None or b is None:
+        return None
+    for dt in ("f", "i", "b"):
+        if a == dt or b == dt:
+            return dt
+    return None
+
+
+def coerced_dt(dt):
+    """dtype after ``_coerce_bool`` (predicates become 0/1 int64)."""
+    return "i" if dt == "b" else dt
+
+
+def imm_dt(value):
+    if isinstance(value, (bool, np.bool_)):
+        return "b"
+    if isinstance(value, (int, np.integer)):
+        return "i"
+    return "f"
+
+
+def c_literal(value, dt):
+    """Exact C literal for a folded constant of register dtype ``dt``."""
+    if dt == "b":
+        return "1" if value else "0"
+    if dt == "i":
+        v = int(value)
+        if v == -(2 ** 63):
+            return "(-INT64_C(9223372036854775807) - 1)"
+        if not -(2 ** 63) <= v < 2 ** 63:
+            raise Unsupported(f"int literal out of int64 range: {v}")
+        return f"INT64_C({v})"
+    v = float(value)
+    if v != v:
+        return "((double)NAN)"
+    if v == float("inf"):
+        return "((double)INFINITY)"
+    if v == float("-inf"):
+        return "(-(double)INFINITY)"
+    return f"{v.hex()}"
+
+
+_NOTCONST = object()
+
+
+@dataclass
+class Val:
+    """One SSA value during planning: C expression + static facts."""
+
+    expr: str
+    dt: str          # 'b' | 'i' | 'f' | None (unknown)
+    kl: int          # shape class
+    const: object = _NOTCONST  # python-semantics folded value
+
+
+@dataclass
+class Slot:
+    """One runtime input of a generated function."""
+
+    kind: str    # "reg" | "sp" | "lp"
+    name: str    # register name / special kind / parameter name
+    disp: str    # display string for the unwritten-register error
+    dt: str
+    kl: int
+    var: str     # C local the innermost body loads it into
+
+
+def _cast(expr, src, dst):
+    if src == dst:
+        return expr
+    if dst == "f":
+        return f"(double)({expr})"
+    if dst == "i":
+        return f"(int64_t)({expr})"
+    return f"(uint8_t)({expr})"
+
+
+def _nonzero(expr, dt):
+    if dt == "b":
+        return f"({expr})"
+    if dt == "f":
+        return f"(({expr}) != 0.0)"
+    return f"(({expr}) != 0)"
+
+
+_WRAP_FN = {"add": "i64_add", "sub": "i64_sub", "mul": "i64_mul"}
+_F_INFIX = {"add": "+", "sub": "-", "mul": "*"}
+
+
+def binop_expr(op, a: Val, b: Val):
+    """C expression + result dtype for one ``BinOp``; raises
+    :class:`Unsupported` for combinations numpy itself would reject or
+    that have no exact C counterpart."""
+    da, db = a.dt, b.dt
+    if da is None or db is None:
+        raise Unsupported(op)
+    if op in _CMP:
+        jt = join_dt(da, db)
+        ea, eb = _cast(a.expr, da, jt), _cast(b.expr, db, jt)
+        return f"(uint8_t)(({ea}) {_CMP_C[op]} ({eb}))", "b"
+    if op == "land":
+        return f"(uint8_t)({_nonzero(a.expr, da)} && {_nonzero(b.expr, db)})", "b"
+    if op == "lor":
+        return f"(uint8_t)({_nonzero(a.expr, da)} || {_nonzero(b.expr, db)})", "b"
+    # arithmetic: operands coerced (bool -> int64)
+    ca, cb = coerced_dt(da), coerced_dt(db)
+    jt = join_dt(ca, cb)
+    ea, eb = _cast(a.expr, da, jt), _cast(b.expr, db, jt)
+    if op in ("add", "sub", "mul"):
+        if jt == "i":
+            return f"{_WRAP_FN[op]}({ea}, {eb})", "i"
+        return f"(({ea}) {_F_INFIX[op]} ({eb}))", "f"
+    if op == "div":
+        if jt == "i":
+            return f"i64_fdiv({ea}, {eb})", "i"
+        return f"(({ea}) / ({eb}))", "f"
+    if op == "mod":
+        if jt == "i":
+            return f"i64_fmod({ea}, {eb})", "i"
+        return f"d_fmod_np({ea}, {eb})", "f"
+    if op == "min":
+        fn = "i64_min" if jt == "i" else "d_min_np"
+        return f"{fn}({ea}, {eb})", jt
+    if op == "max":
+        fn = "i64_max" if jt == "i" else "d_max_np"
+        return f"{fn}({ea}, {eb})", jt
+    if op in ("and", "or", "xor", "shl", "shr"):
+        if jt != "i":
+            raise Unsupported(f"{op} on float")
+        if op == "shl":
+            return f"i64_shl({ea}, {eb})", "i"
+        if op == "shr":
+            return f"i64_shr({ea}, {eb})", "i"
+        sym = {"and": "&", "or": "|", "xor": "^"}[op]
+        return f"(({ea}) {sym} ({eb}))", "i"
+    raise Unsupported(op)
+
+
+def unop_expr(op, a: Val):
+    da = a.dt
+    if da is None:
+        raise Unsupported(op)
+    if op == "lnot":
+        if da == "f":
+            return f"(uint8_t)(({a.expr}) == 0.0)", "b"
+        return f"(uint8_t)(({a.expr}) == 0)", "b"
+    ca = coerced_dt(da)
+    ea = _cast(a.expr, da, ca)
+    if op == "neg":
+        if ca == "i":
+            return f"i64_neg({ea})", "i"
+        return f"(-({ea}))", "f"
+    if op == "bnot":
+        if ca != "i":
+            raise Unsupported("bnot on float")
+        return f"(~({ea}))", "i"
+    raise Unsupported(op)
+
+
+def sel_expr(cond: Val, a: Val, b: Val):
+    if None in (cond.dt, a.dt, b.dt):
+        raise Unsupported("sel")
+    jt = join_dt(a.dt, b.dt)
+    ea, eb = _cast(a.expr, a.dt, jt), _cast(b.expr, b.dt, jt)
+    return f"({_nonzero(cond.expr, cond.dt)} ? ({ea}) : ({eb}))", jt
+
+
+# ---------------------------------------------------------------------
+# constant folding (vector-backend python semantics on literals)
+# ---------------------------------------------------------------------
+
+def _cbv(v):
+    if isinstance(v, (bool, np.bool_)):
+        return int(v)
+    return v
+
+
+def _fold_binop(op, a, b):
+    """Replicate the *vector* region's generated expression on python
+    literal values (python infix operators where the region source uses
+    them, numpy helpers where it calls helpers)."""
+    if op in _CMP:
+        import operator as _op
+
+        fn = {"lt": _op.lt, "le": _op.le, "gt": _op.gt, "ge": _op.ge,
+              "eq": _op.eq, "ne": _op.ne}[op]
+        return fn(a, b)
+    if op == "land":
+        return np.logical_and(a, b)
+    if op == "lor":
+        return np.logical_or(a, b)
+    a, b = _cbv(a), _cbv(b)
+    if op == "div":
+        return _div(a, b)
+    if op == "min":
+        return np.minimum(a, b)
+    if op == "max":
+        return np.maximum(a, b)
+    import operator as _op
+
+    fn = {"add": _op.add, "sub": _op.sub, "mul": _op.mul, "mod": _op.mod,
+          "and": _op.and_, "or": _op.or_, "xor": _op.xor,
+          "shl": _op.lshift, "shr": _op.rshift}[op]
+    return fn(a, b)
+
+
+def _fold_unop(op, a):
+    if op == "lnot":
+        return np.logical_not(a)
+    if op == "neg":
+        return -np.asarray(_cbv(a))
+    return np.bitwise_not(np.asarray(_cbv(a)))
+
+
+def _const_val(value):
+    """(expr, dt, const) for a folded python value, via the same
+    ``np.asarray`` wrap the vector backend's ``_0d`` applies."""
+    arr = np.asarray(value)
+    kind = arr.dtype.kind
+    if kind == "b":
+        dt = "b"
+    elif kind in "iu":
+        dt = "i"
+    elif kind == "f":
+        dt = "f"
+    else:
+        raise Unsupported(f"constant dtype {arr.dtype}")
+    return c_literal(arr.item(), dt), dt
+
+
+# ---------------------------------------------------------------------
+# planner core (shared by regions and loops)
+# ---------------------------------------------------------------------
+
+class Planner:
+    """Walk FUSIBLE instructions building C statements and an input
+    signature against a register-environment of (dtype, class) facts.
+
+    ``read_reg``/``write_reg`` are provided by the region or loop
+    subclass — regions bind SSA temps only, loops add storage access
+    and write-back bookkeeping."""
+
+    def __init__(self, env):
+        self.env = env
+        self.inputs = []          # ordered Slots
+        self._input_index = {}    # (kind, name) -> Slot
+        self.bind = {}            # reg name -> Val
+        self.stmts = []           # (class, line) pairs
+        self.counter = 0
+        self.ok = True
+        self.n_instrs = 0
+
+    def _sym(self):
+        self.counter += 1
+        return f"t{self.counter}"
+
+    def slot(self, kind, name, disp, dt, kl):
+        key = (kind, name)
+        found = self._input_index.get(key)
+        if found is None:
+            found = Slot(kind, name, disp, dt, kl,
+                         var=f"x{len(self.inputs)}")
+            self.inputs.append(found)
+            self._input_index[key] = found
+        return found
+
+    def input_val(self, sl):
+        """The C expression reading one input Slot (regions load every
+        input into an ``x{k}`` local; the loop planner overrides this
+        with a direct strided pointer read)."""
+        return Val(sl.var, sl.dt, sl.kl)
+
+    def read_reg(self, operand):
+        """Resolve a register read (region variant: bind else input)."""
+        val = self.bind.get(operand.name)
+        if val is not None:
+            return val
+        dt, kl = self.env.get(operand.name, (None, F))
+        if dt is None:
+            self.ok = False
+        sl = self.slot("reg", operand.name, str(operand), dt, kl)
+        return self.input_val(sl)
+
+    def operand(self, op):
+        if isinstance(op, Imm):
+            dt = imm_dt(op.value)
+            try:
+                expr = c_literal(np.asarray(op.value).item(), dt)
+            except (OverflowError, ValueError, Unsupported):
+                self.ok = False
+                expr = "0"
+            return Val(expr, dt, S, const=op.value)
+        return self.read_reg(op)
+
+    def write_reg(self, dst, val):
+        self.bind[dst.name] = val
+        self.env[dst.name] = (val.dt, val.kl)
+
+    def emit(self, instr, val):
+        """Materialize a computed value as a C temp (non-const only)."""
+        if val.const is not _NOTCONST or val.dt is None:
+            self.write_reg(instr.dst, val)
+            return
+        var = self._sym()
+        self.stmts.append(
+            (val.kl, f"const {_DT_C[val.dt]} {var} = {val.expr};")
+        )
+        self.write_reg(instr.dst, Val(var, val.dt, val.kl))
+
+    def gen_instr(self, instr):
+        self.n_instrs += 1
+        cls = type(instr)
+        try:
+            if cls is BinOp:
+                a, b = self.operand(instr.a), self.operand(instr.b)
+                if a.const is not _NOTCONST and b.const is not _NOTCONST:
+                    val = self._fold(_fold_binop, instr.op, a, b)
+                else:
+                    expr, dt = binop_expr(instr.op, a, b)
+                    val = Val(expr, dt, a.kl | b.kl)
+            elif cls is UnOp:
+                a = self.operand(instr.a)
+                if a.const is not _NOTCONST:
+                    val = self._fold(_fold_unop, instr.op, a)
+                else:
+                    expr, dt = unop_expr(instr.op, a)
+                    val = Val(expr, dt, a.kl)
+            elif cls is Mov:
+                val = self.operand(instr.a)
+            elif cls is Sel:
+                c = self.operand(instr.cond)
+                a, b = self.operand(instr.a), self.operand(instr.b)
+                if (c.const is not _NOTCONST and a.const is not _NOTCONST
+                        and b.const is not _NOTCONST):
+                    val = self._fold(
+                        lambda _o, cv, av, bv: np.where(cv, av, bv),
+                        None, c, a, b)
+                else:
+                    expr, dt = sel_expr(c, a, b)
+                    val = Val(expr, dt, c.kl | a.kl | b.kl)
+            elif cls is Special:
+                info = SPECIAL_INFO.get(instr.kind)
+                if info is None:
+                    raise Unsupported(f"special {instr.kind}")
+                sl = self.slot("sp", instr.kind, instr.kind, *info)
+                val = self.input_val(sl)
+            elif cls is LdParam:
+                sl = self.slot("lp", instr.name, instr.name, "i", S)
+                val = self.input_val(sl)
+            else:
+                raise Unsupported(cls.__name__)
+        except Unsupported:
+            self.ok = False
+            val = Val("0", None, F)
+        self.emit(instr, val)
+
+    def _fold(self, fn, op, *vals):
+        try:
+            folded = fn(op, *[v.const for v in vals])
+        except Exception:
+            folded = _NOTCONST
+        if folded is not _NOTCONST:
+            try:
+                expr, dt = _const_val(folded)
+                return Val(expr, dt, S, const=folded)
+            except (Unsupported, OverflowError, ValueError):
+                # Folded fine in python but has no exact C literal (e.g.
+                # an out-of-int64 product): the vector path would carry
+                # the big value onward, so give up rather than diverge.
+                self.ok = False
+                return Val("0", None, F)
+        # Python fold raised (the vector expression would raise at run
+        # time only if actually evaluated with these semantics — but a
+        # region never folds, it computes): evaluate in C instead.
+        try:
+            if fn is _fold_unop:
+                expr, dt = unop_expr(op, vals[0])
+            elif len(vals) == 3:
+                expr, dt = sel_expr(*vals)
+            else:
+                expr, dt = binop_expr(op, *vals)
+            return Val(expr, dt, S)
+        except Unsupported:
+            self.ok = False
+            return Val("0", None, F)
+
+
+# ---------------------------------------------------------------------
+# region lowering
+# ---------------------------------------------------------------------
+
+@dataclass
+class RegionPlan:
+    """Everything the glue and the C emitter need for one region."""
+
+    inputs: list                 # Slots, in first-use order
+    outs: list                   # (reg name, dt, class, expr)
+    stmts: list                  # (class, line)
+    n_instrs: int
+    max_kl: int
+    ok: bool
+    fname: str = ""
+
+
+def plan_region(instrs, env, visible=None) -> RegionPlan:
+    """Plan one fused region; always updates ``env`` with the region's
+    writes (conservatively when lowering is impossible)."""
+    p = Planner(env)
+    for instr in instrs:
+        p.gen_instr(instr)
+    outs = []
+    max_kl = S
+    for name, val in p.bind.items():
+        if visible is not None and name not in visible:
+            continue  # dead store: the vector fast path skips it too
+        if val.dt is None:
+            p.ok = False
+            continue
+        outs.append((name, val.dt, val.kl, val.expr))
+        max_kl |= val.kl
+    for kl, _ in p.stmts:
+        max_kl |= kl
+    if not outs:
+        p.ok = False  # nothing observable: not worth a native call
+    return RegionPlan(
+        inputs=p.inputs, outs=outs, stmts=p.stmts,
+        n_instrs=p.n_instrs, max_kl=max_kl, ok=p.ok,
+    )
+
+
+def _input_decls(inputs, pbase=0, mbase=2):
+    """Pointer/stride declarations + innermost-body load lines."""
+    decls, loads = [], []
+    for k, sl in enumerate(inputs):
+        ct = _DT_C[sl.dt]
+        decls.append(
+            f"    const {ct} *p{k} = (const {ct} *)P[{pbase + k}];"
+        )
+        decls.append(
+            f"    const int64_t s{k}a = M[{mbase + 2 * k}], "
+            f"s{k}b = M[{mbase + 2 * k + 1}];"
+        )
+        loads.append(
+            f"const {ct} {sl.var} = p{k}[i * s{k}a + j * s{k}b];"
+        )
+    return decls, loads
+
+
+_OUT_IDX = {S: "[0]", R: "[j]", C: "[i]", F: "[i * T + j]"}
+
+
+def region_source(fname, plan: RegionPlan) -> str:
+    """One C function evaluating a whole region over (B, T) arrays."""
+    nin = len(plan.inputs)
+    lines = [f"EXPORT int64_t {fname}(void **P, int64_t *M)", "{"]
+    lines.append("    const int64_t B = M[0], T = M[1];")
+    lines.append("    (void)B; (void)T;")
+    decls, loads = _input_decls(plan.inputs)
+    lines.extend(decls)
+    for n, (name, dt, kl, expr) in enumerate(plan.outs):
+        ct = _DT_C[dt]
+        lines.append(f"    {ct} *o{n} = ({ct} *)P[{nin + n}];")
+    body = loads + [line for _, line in plan.stmts]
+    for n, (name, dt, kl, expr) in enumerate(plan.outs):
+        body.append(f"o{n}{_OUT_IDX[kl]} = {expr};")
+    if plan.max_kl == S:
+        lines.append("    { const int64_t i = 0, j = 0; (void)i; (void)j;")
+        lines.extend(f"      {b}" for b in body)
+        lines.append("    }")
+    elif plan.max_kl == R:
+        lines.append("    { const int64_t i = 0; (void)i;")
+        lines.append("      for (int64_t j = 0; j < T; j++) {")
+        lines.extend(f"        {b}" for b in body)
+        lines.append("      } }")
+    elif plan.max_kl == C:
+        lines.append("    { const int64_t j = 0; (void)j;")
+        lines.append("      for (int64_t i = 0; i < B; i++) {")
+        lines.extend(f"        {b}" for b in body)
+        lines.append("      } }")
+    else:
+        lines.append("    for (int64_t i = 0; i < B; i++) {")
+        lines.append("      for (int64_t j = 0; j < T; j++) {")
+        lines.extend(f"        {b}" for b in body)
+        lines.append("      }")
+        lines.append("    }")
+    lines.append("    return 0;")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------
+# chain lowering: regions + imm-offset shuffles in one function
+# ---------------------------------------------------------------------
+
+@dataclass
+class ChainPlan:
+    """A maximal run of fused regions and immediate-offset shuffles
+    lowered as ONE function.  Execution is warp-major: for every
+    (block, 32-lane warp window) the whole chain runs out of 32-wide
+    stack arrays, so shuffle intermediates never round-trip through
+    full (B, T) register arrays and the Python dispatch per closure
+    collapses into a single call."""
+
+    inputs: list                 # Slots, in first-use order
+    outs: list                   # (reg name, dt, class, expr)
+    blocks: list                 # ("lane" | "raw", [lines])
+    decls: list                  # function-scope declarations
+    n_alu: int                   # region instruction count (event replay)
+    n_shfl: int                  # shuffle count (event replay)
+    ok: bool
+    fname: str = ""
+
+
+def plan_chain(items, env, suffix_reads) -> ChainPlan:
+    """Plan one chain.  ``items`` is the ordered mix of
+    ``("region", instrs)`` / ``("shfl", instr)``; ``suffix_reads`` is
+    the set of register names read *after* the chain (anything else a
+    member binds is chain-internal and stays in stack arrays).  Always
+    updates ``env`` with every member's writes, like ``plan_region``.
+
+    Widths <= 32 never cross the 32-lane warp window: a window holds
+    whole shuffle groups, so the lane map computed for one window is
+    exact for every window.
+    """
+    from ..fuse import _shfl_source_lanes
+
+    p = Planner(env)
+    decls = []
+    blocks = []
+    stage_n = [0]
+    stmt_pos = [0]
+    n_shfl = 0
+
+    def close_lane():
+        lines = [line for _, line in p.stmts[stmt_pos[0]:]]
+        stmt_pos[0] = len(p.stmts)
+        if lines:
+            blocks.append(("lane", lines))
+
+    def new_stage(dt):
+        stage_n[0] += 1
+        var = f"stg{stage_n[0]}"
+        decls.append(f"{_DT_C[dt]} {var}[32];")
+        return var
+
+    def stage_live():
+        # Spill every live non-constant binding into a 32-wide stack
+        # array so later lane segments (separate C scopes) can still
+        # read it.  Input locals are exempt: they are reloaded at the
+        # top of every lane segment.  Unread spills are dead stores the
+        # compiler drops.
+        svars = {sl.var for sl in p.inputs}
+        for name, val in list(p.bind.items()):
+            if val.const is not _NOTCONST or val.dt is None:
+                continue
+            e = val.expr
+            if e in svars or (e.startswith("stg") and e.endswith("[l]")):
+                continue
+            var = new_stage(val.dt)
+            p.stmts.append((val.kl, f"{var}[l] = {e};"))
+            p.bind[name] = Val(f"{var}[l]", val.dt, val.kl)
+
+    for kind, payload in items:
+        if not p.ok:
+            break
+        if kind == "region":
+            for instr in payload:
+                p.gen_instr(instr)
+            continue
+        instr = payload
+        n_shfl += 1
+        src = p.read_reg(instr.src)
+        if src.dt is None:
+            p.ok = False
+            break
+        off = instr.offset
+        if isinstance(off, Imm):
+            v = off.value
+            if isinstance(v, bool) or not isinstance(v, (int, np.integer)):
+                p.ok = False
+                break
+            off_val = int(v)
+        else:
+            # Register offset: resolvable only when the chain itself
+            # (or an earlier fold) proves it a compile-time constant —
+            # the warp-tree Movs that set shuffle strides always are.
+            ov = p.read_reg(off)
+            if ov.const is _NOTCONST or ov.dt not in ("i", "b"):
+                p.ok = False
+                break
+            off_val = int(ov.const)
+        lanes = _shfl_source_lanes(instr.mode, instr.width, off_val, 32)
+        if lanes is None:
+            p.ok = False
+            break
+        stage_live()
+        src = p.read_reg(instr.src)  # may have just been staged
+        svar = new_stage(src.dt)
+        p.stmts.append((src.kl, f"{svar}[l] = {src.expr};"))
+        close_lane()
+        dvar = new_stage(src.dt)
+        mname = f"{dvar}_map"
+        decls.append(
+            f"static const int64_t {mname}[32] = {{"
+            + ", ".join(str(int(x)) for x in lanes) + "};"
+        )
+        blocks.append(("raw", [
+            f"for (int64_t l = 0; l < 32; l++) "
+            f"{dvar}[l] = {svar}[{mname}[l]];"
+        ]))
+        p.write_reg(instr.dst, Val(f"{dvar}[l]", src.dt, F))
+
+    outs = []
+    for name, val in p.bind.items():
+        if name not in suffix_reads:
+            continue  # chain-internal: lives and dies in stack arrays
+        if val.dt is None:
+            p.ok = False
+            continue
+        outs.append((name, val.dt, val.kl, val.expr))
+    if not outs:
+        p.ok = False
+    for n, (name, dt, kl, expr) in enumerate(outs):
+        p.stmts.append((kl, f"o{n}{_OUT_IDX[kl]} = {expr};"))
+    close_lane()
+    return ChainPlan(
+        inputs=p.inputs, outs=outs, blocks=blocks, decls=decls,
+        n_alu=p.n_instrs, n_shfl=n_shfl, ok=p.ok,
+    )
+
+
+def chain_source(fname, plan: ChainPlan) -> str:
+    """One warp-major C function for a whole region/shuffle chain."""
+    nin = len(plan.inputs)
+    lines = [f"EXPORT int64_t {fname}(void **P, int64_t *M)", "{"]
+    lines.append("    const int64_t B = M[0], T = M[1];")
+    decls, loads = _input_decls(plan.inputs)
+    lines.extend(decls)
+    for n, (name, dt, kl, expr) in enumerate(plan.outs):
+        ct = _DT_C[dt]
+        lines.append(f"    {ct} *o{n} = ({ct} *)P[{nin + n}];")
+    for d in plan.decls:
+        lines.append(f"    {d}")
+    lines.append("    for (int64_t i = 0; i < B; i++) {")
+    lines.append("      for (int64_t jb = 0; jb < T; jb += 32) {")
+    for kind, body in plan.blocks:
+        if kind == "lane":
+            lines.append("        for (int64_t l = 0; l < 32; l++) {")
+            lines.append("          const int64_t j = jb + l; (void)j;")
+            for ld in loads:
+                lines.append(f"          {ld}")
+            for b in body:
+                lines.append(f"          {b}")
+            lines.append("        }")
+        else:
+            for b in body:
+                lines.append(f"        {b}")
+    lines.append("      }")
+    lines.append("    }")
+    lines.append("    return 0;")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------
+# shuffle gather lowering
+# ---------------------------------------------------------------------
+
+def shfl_source(fname, dt) -> str:
+    """Row-mapped gather: ``out[i, j] = src[i, lane[j]]`` — the exact
+    take-along-axis the fast shuffle closure performs once the
+    per-lane source map is precomputed (uniform offset)."""
+    ct = _DT_C[dt]
+    return (
+        f"EXPORT int64_t {fname}(void **P, int64_t *M)\n"
+        "{\n"
+        "    const int64_t B = M[0], T = M[1];\n"
+        "    const int64_t sa = M[2], sb = M[3];\n"
+        f"    const {ct} *src = (const {ct} *)P[0];\n"
+        "    const int64_t *lane = (const int64_t *)P[1];\n"
+        f"    {ct} *out = ({ct} *)P[2];\n"
+        "    for (int64_t i = 0; i < B; i++) {\n"
+        "        for (int64_t j = 0; j < T; j++) {\n"
+        "            out[i * T + j] = src[i * sa + lane[j] * sb];\n"
+        "        }\n"
+        "    }\n"
+        "    return 0;\n"
+        "}\n"
+    )
+
+
+# ---------------------------------------------------------------------
+# environment propagation through non-lowered closures
+# ---------------------------------------------------------------------
+
+def apply_boundary_env(instr, env):
+    """Update the (dtype, class) environment for a boundary instruction
+    executed by its engine/vector closure."""
+    from ...vir.instructions import LdGlobal, LdShared, Shfl
+
+    if isinstance(instr, LdGlobal):
+        dsts = instr.dst if isinstance(instr.dst, (tuple, list)) else (
+            instr.dst,)
+        for d in dsts:
+            env[d.name] = ("f", F)
+    elif isinstance(instr, LdShared):
+        env[instr.dst.name] = ("f", F)
+    elif isinstance(instr, Shfl):
+        src_dt = env.get(instr.src.name, (None, F))[0]
+        env[instr.dst.name] = (src_dt, F)
+    else:
+        dst = getattr(instr, "dst", None)
+        if isinstance(dst, Reg):
+            env[dst.name] = (None, F)

@@ -1,0 +1,898 @@
+"""C lowering of megafused While loops.
+
+The vector backend's :func:`repro.gpusim.fuse._fuse_loop` already
+proves the interesting property — an eligible loop's condition and body
+are straight-line ALU regions plus width-1 global loads, so the active
+mask provably cannot change while the condition stays uniform.  This
+module lowers exactly that class of loop to one C function executing
+*every* iteration, including the loads, in a single call.
+
+Execution model
+---------------
+Each instruction destination gets a **storage slot** at its inferred
+shape class: the uniform classes (S scalars, C block columns) are C
+scalars, lane rows (R) and full values (F) are 32-wide lane arrays in
+the warp frame.  Because eligible loop bodies are lane-local (no
+shuffles, barriers or atomics), execution is **warp-major**: each
+32-lane warp runs its lanes to completion with all state in registers,
+instead of sweeping every lane once per iteration the way the numpy
+megafused loop must.  The main pass runs each warp to its uniform trip
+count (the iteration its condition stops being all-true), counting load
+transactions as it goes, and **optimistically commits** the warp's
+state whenever it stopped exactly at the running minimum — the common
+grid-stride case where every warp runs the same number of iterations
+therefore executes in a single sweep.  Only when a warp invalidates the
+optimism (a later warp stops earlier, or overshoots the minimum, or
+hits the iteration cap) does a redo pass re-run every warp capped at
+the final minimum; out-of-bounds discovery gets its own replay pass
+either way.
+
+Loop-carried registers read their previous iteration's slot; a register
+with a single in-loop writer of matching class aliases its entry slot
+directly (the classic ``acc = acc + t`` updates in place), all others
+get an explicit carry copy at body end, mirroring the vector loop's
+SSA-local carries.  Loads count 128-byte segment transactions per
+32-lane warp exactly like ``_count_segments_sorted`` — a monotonic fast
+path for coalesced rows, an insertion-sorted distinct count otherwise.
+
+Exit protocol
+-------------
+The C function returns 0 (condition uniformly false), 1 (first mixed
+condition — the caller resumes the engine-exact divergent
+continuation), 2 (out-of-bounds load; *no* register flush, matching
+the vector loop's raise-without-flush) or 3 (iteration cap).  Iteration
+/ evaluation / per-site load counters come back through the metadata
+array so the Python glue can replay the vector loop's event accounting
+(``inst.alu`` per condition evaluation including the final one, per-
+completed-body ALU counts, per-site transaction and byte counters)
+outside the hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...vir.instructions import Reg
+from .cgen import (
+    C,
+    F,
+    R,
+    S,
+    _DT_C,
+    _NOTCONST,
+    Planner,
+    Val,
+    _nonzero,
+)
+
+#: Return codes of a generated loop function.
+RC_CLEAN, RC_MIXED, RC_OOB, RC_CAP = 0, 1, 2, 3
+
+#: Fixed metadata indices (input strides / site meta / outputs follow).
+M_B, M_T, M_CAP = 0, 1, 2
+M_FIXED = 3
+
+#: Output section layout, relative to the plan's ``m_out`` base.
+OUT_ITERS, OUT_EVALS, OUT_COMPLETED = 0, 1, 2
+OUT_ERR_SITE, OUT_ERR_LO, OUT_ERR_HI = 3, 4, 5
+OUT_N_FIXED = 6  # then (trans, execs) per load site
+
+
+@dataclass
+class SlotStorage:
+    """One storage location: a C local (S) or caller buffer (R/C/F)."""
+
+    name: str  # C identifier
+    dt: str
+    kl: int
+
+
+@dataclass
+class LdSite:
+    """One width-1 global load inside the loop body."""
+
+    buf: str
+    idx_val: Val
+    dst_slot: SlotStorage
+    index: int
+
+
+class _LoopPlanner(Planner):
+    """Planner emitting storage-slot statements instead of SSA locals."""
+
+    def __init__(self, env, carried_names):
+        super().__init__(env)
+        self.carried_names = carried_names
+        self.slots = []          # R/C/F SlotStorage, P-order
+        self.s_decls = []        # S-class SlotStorage (C locals)
+        self.entry_env = dict(env)
+        self.alias = {}          # carried reg name -> entry SlotStorage
+        self.code = []           # (kl, line) of the current section
+        self.body_layout = []    # list[(kl, line)] chunks | LdSite
+        self.last_slot = None
+        self._ncounter = 0
+
+    def _storage(self, dt, kl, prefix="v"):
+        self._ncounter += 1
+        st = SlotStorage(f"{prefix}{self._ncounter}", dt, kl)
+        if kl == S:
+            self.s_decls.append(st)
+        else:
+            self.slots.append(st)
+        return st
+
+    @staticmethod
+    def read_slot(st: SlotStorage) -> str:
+        # Warp-frame storage: scalars for the uniform classes (S is
+        # function-scoped, C per-warp), 32-wide lane arrays for R/F.
+        if st.kl in (S, C):
+            return st.name
+        return f"{st.name}[l]"
+
+    def input_val(self, sl):
+        k = self.inputs.index(sl)
+        return Val(input_expr(k, sl.kl), sl.dt, sl.kl)
+
+    def read_reg(self, operand):
+        val = self.bind.get(operand.name)
+        if val is not None:
+            return val
+        entry = self.entry_env.get(operand.name)
+        if entry is None or entry[0] is None:
+            self.ok = False
+            return Val("0", None, F)
+        dt, kl = entry
+        sl = self.slot("reg", operand.name, str(operand), dt, kl)
+        if operand.name in self.carried_names:
+            st = self.alias.get(operand.name)
+            if st is None:
+                st = self._storage(dt, kl, prefix="li")
+                self.alias[operand.name] = st
+            return Val(self.read_slot(st), dt, kl)
+        return self.input_val(sl)
+
+    def emit(self, instr, val):
+        if val.const is not _NOTCONST or val.dt is None:
+            self.last_slot = None
+            self.write_reg(instr.dst, val)
+            return
+        st = self._storage(val.dt, val.kl)
+        self.code.append((val.kl, f"{self.read_slot(st)} = {val.expr};"))
+        self.write_reg(instr.dst, Val(self.read_slot(st), val.dt, val.kl))
+        self.last_slot = st
+
+
+def _maybe_alias(p: _LoopPlanner, instr, writers):
+    """Redirect a single-writer carried register's defining statement to
+    its entry slot, eliding the per-iteration carry copy (and the extra
+    buffer) — the in-place update is exact because every statement is
+    elementwise with aligned indices."""
+    name = instr.dst.name
+    st = p.alias.get(name)
+    if (
+        st is None
+        or name not in p.carried_names
+        or writers.get(name) != 1
+    ):
+        return
+    val = p.bind.get(name)
+    last = p.last_slot
+    if (
+        val is None
+        or val.const is not _NOTCONST  # const binding: no statement
+        or last is None
+        or p.read_slot(last) != val.expr
+        or val.dt != st.dt
+        or last.kl != st.kl
+    ):
+        return
+    kl, line = p.code[-1]
+    old = p.read_slot(last)
+    p.code[-1] = (kl, p.read_slot(st) + line[len(old):])
+    p.bind[name] = Val(p.read_slot(st), val.dt, val.kl)
+    if last in p.slots:
+        p.slots.remove(last)
+    elif last in p.s_decls:
+        p.s_decls.remove(last)
+    p.last_slot = st
+
+
+def _carried_and_writers(cond_instrs, body_instrs, cond_reg):
+    """Registers read before their first in-loop write (the vector
+    loop's preload set, restricted to ones also written — those need a
+    carry slot) plus per-register writer counts, over the exact
+    read/write stream ``_fuse_loop`` analyzes."""
+    from ..fuse import _reg_operand_objs
+
+    stream = []
+    for i in cond_instrs:
+        stream.extend(("r", op) for op in _reg_operand_objs(i))
+        stream.append(("w", i.dst))
+    stream.append(("r", cond_reg))
+    for i in body_instrs:
+        stream.extend(("r", op) for op in _reg_operand_objs(i))
+        stream.append(("w", i.dst))
+    written = set()
+    first_reads = []
+    writers = {}
+    for ev, op in stream:
+        if ev == "w":
+            written.add(op.name)
+            writers[op.name] = writers.get(op.name, 0) + 1
+        elif op.name not in written and op.name not in first_reads:
+            first_reads.append(op.name)
+    carried = [n for n in first_reads if n in writers]
+    return carried, writers
+
+
+class LoopPlan:
+    """Everything the glue and the C emitter need for one loop."""
+
+    def __init__(self, planner, sites, flush_always, flush_body,
+                 cond_val, cond_slot, n_cond, n_body_alu):
+        self.planner = planner
+        self.inputs = planner.inputs
+        self.slots = planner.slots
+        self.s_decls = planner.s_decls
+        self.alias = planner.alias
+        self.sites = sites
+        self.flush_always = flush_always    # (reg name, Val)
+        self.flush_body = flush_body        # (reg name, Val)
+        self.cond_val = cond_val
+        self.cond_slot = cond_slot
+        self.n_cond = n_cond
+        self.n_body_alu = n_body_alu
+        self.fname = ""
+        self.source = ""
+        self.m_out = 0
+        self.m_len = 0
+
+    @property
+    def carried(self):
+        return self.alias
+
+
+def _plan_pass(entry, carried, writers, instr, cond_instrs, segments):
+    """One planning pass against a candidate entry environment;
+    returns a LoopPlan or None."""
+    p = _LoopPlanner(dict(entry), set(carried))
+    for i in cond_instrs:
+        p.gen_instr(i)
+        if not p.ok:
+            return None
+        _maybe_alias(p, i, writers)
+    cond_val = p.operand(instr.cond)
+    if cond_val.dt is None or not p.ok:
+        return None
+    cond_binding = dict(p.bind)
+    p.code_cond = list(p.code)
+    p.code.clear()
+
+    sites = []
+    n_body_alu = 0
+    for kind, bi, _closure in segments:
+        if kind == "alu":
+            p.gen_instr(bi)
+            if not p.ok:
+                return None
+            _maybe_alias(p, bi, writers)
+            n_body_alu += 1
+            continue
+        idx_val = p.operand(bi.idx)
+        if idx_val.dt != "i" or not p.ok:
+            return None
+        if p.code:
+            p.body_layout.append(list(p.code))
+            p.code.clear()
+        # Loads always produce full-shape float64 (engine semantics);
+        # a single-writer carried destination updates its entry slot.
+        st = p.alias.get(bi.dst.name)
+        if not (
+            st is not None
+            and writers.get(bi.dst.name) == 1
+            and st.dt == "f"
+            and st.kl == F
+        ):
+            st = p._storage("f", F, prefix="ld")
+        p.write_reg(bi.dst, Val(p.read_slot(st), "f", F))
+        p.last_slot = st
+        site = LdSite(bi.buf, idx_val, st, len(sites))
+        sites.append(site)
+        p.body_layout.append(site)
+    if p.code:
+        p.body_layout.append(list(p.code))
+        p.code.clear()
+
+    # Carries: un-aliased carried registers copy their final binding
+    # back into the entry slot at body end (vector's `_li = sym` lines).
+    carry_code = []
+    for name in carried:
+        st = p.alias.get(name)
+        if st is None:
+            continue
+        val = p.bind.get(name)
+        if val is None or val.expr == p.read_slot(st):
+            continue  # never rebound, or aliased in place
+        if val.dt is None or val.dt != st.dt:
+            return None
+        if (val.kl | st.kl) != st.kl:
+            # Class widened inside the body: the plan_loop fixed point
+            # sees the same mismatch on the entry fact, widens it and
+            # re-plans, so this pass's output is discarded anyway.
+            continue
+        carry_code.append((st.kl, f"{p.read_slot(st)} = {val.expr};"))
+    p.code_carry = carry_code
+
+    # Condition mirror: the divergent continuation needs the condition
+    # value — scalars surface through the S-out block, array classes
+    # through a dedicated bool-typed buffer written per evaluation.
+    cond_slot = p._storage("b", cond_val.kl, prefix="cnd")
+
+    flush_always, flush_body = [], []
+    for name, val in p.bind.items():
+        if val.dt is None:
+            return None
+        cv = cond_binding.get(name)
+        if cv is not None:
+            if cv.dt is None:
+                return None
+            flush_always.append((name, cv))
+        else:
+            flush_body.append((name, val))
+
+    return LoopPlan(
+        p, sites, flush_always, flush_body, cond_val, cond_slot,
+        len(cond_instrs), n_body_alu,
+    )
+
+
+def plan_loop(index, instr, cond_trace, body_trace, env):
+    """Plan one megafused loop against the entry environment, or None.
+
+    Mirrors ``_fuse_loop`` eligibility, then runs a small fixed point
+    over the carried registers' (dtype, class) facts: a loop whose
+    carried dtypes do not stabilize (the interpreter would promote
+    dynamically across iterations) is not lowered.  ``env`` is always
+    updated — with the plan's flush facts on success, conservative
+    unknowns otherwise.
+    """
+    cond_instrs = []
+    for closure in cond_trace:
+        instrs = getattr(closure, "_instrs", None)
+        if instrs is None:
+            cond_instrs = None
+            break
+        cond_instrs.extend(instrs)
+    segments = [] if cond_instrs and isinstance(instr.cond, Reg) else None
+    if segments is not None:
+        for closure in body_trace:
+            instrs = getattr(closure, "_instrs", None)
+            if instrs is not None:
+                segments.extend(("alu", i, None) for i in instrs)
+            elif (
+                getattr(closure, "_specialized", None) == "ld_global"
+                and closure._instr.width == 1
+                and isinstance(closure._instr.idx, Reg)
+            ):
+                segments.append(("ld", closure._instr, closure))
+            else:
+                segments = None
+                break
+    if not segments:
+        poison_loop_env(cond_trace, body_trace, env)
+        return None
+
+    body_instrs = [seg[1] for seg in segments]
+    carried, writers = _carried_and_writers(
+        cond_instrs, body_instrs, instr.cond
+    )
+
+    entry = dict(env)
+    plan = None
+    for _ in range(5):
+        p = _plan_pass(entry, carried, writers, instr, cond_instrs,
+                       segments)
+        if p is None:
+            poison_loop_env(cond_trace, body_trace, env)
+            return None
+        changed = False
+        for name in carried:
+            e_dt, e_kl = entry.get(name, (None, F))
+            val = p.planner.bind.get(name)
+            if val is None:
+                continue  # never rebound: entry fact stands
+            if val.dt != e_dt:
+                poison_loop_env(cond_trace, body_trace, env)
+                return None  # dtype does not stabilize
+            if val.kl | e_kl != e_kl:
+                entry[name] = (e_dt, val.kl | e_kl)
+                changed = True
+        if not changed:
+            plan = p
+            break
+    if plan is None:
+        poison_loop_env(cond_trace, body_trace, env)
+        return None
+
+    plan.fname = f"loop{index}"
+    # Entry facts for the glue's input guards come from the fixed point.
+    for sl in plan.inputs:
+        if sl.kind == "reg" and sl.name in entry:
+            sl.dt, sl.kl = entry[sl.name]
+    plan.source = _loop_source(plan)
+    # Environment after the loop: condition-phase registers always hold
+    # the final evaluation's value; body-only registers merge with the
+    # zero-iteration entry state.
+    for name, val in plan.flush_always:
+        env[name] = (val.dt, val.kl)
+    for name, val in plan.flush_body:
+        pre = env.get(name)
+        if pre is None:
+            env[name] = (val.dt, val.kl)
+        elif pre[0] == val.dt:
+            env[name] = (val.dt, pre[1] | val.kl)
+        else:
+            env[name] = (None, F)
+    return plan
+
+
+def poison_loop_env(cond_trace, body_trace, env):
+    """Conservative environment effect of a loop executed by its vector
+    closure: every register it may write becomes unknown/full."""
+    from ..fuse import trace_instrs
+
+    for i in trace_instrs(list(cond_trace) + list(body_trace)):
+        dst = getattr(i, "dst", None)
+        if isinstance(dst, Reg):
+            env[dst.name] = (None, F)
+        elif isinstance(dst, list):
+            for d in dst:
+                if isinstance(d, Reg):
+                    env[d.name] = (None, F)
+
+# ---------------------------------------------------------------------
+# C source emission (warp-major two-pass)
+# ---------------------------------------------------------------------
+#
+# Eligible loop bodies are lane-local by construction (straight-line
+# ALU plus width-1 loads — no shuffles, barriers or atomics), so each
+# 32-lane warp can run its lanes to completion with all state in
+# registers instead of sweeping every lane per iteration:
+#
+#   scan pass    every warp runs until its local condition stops being
+#                all-true, yielding its uniform trip count t_w; the
+#                global lockstep loop runs exactly U = min(t_w) - 1
+#                full iterations.  Out-of-bounds loads are recorded
+#                (first (iteration, site) per warp) and replaced by
+#                0.0 — iterations past the lockstep exit are discarded,
+#                so their values never surface.
+#   commit pass  every warp re-runs capped at U, counting 128-byte
+#                segment transactions per iteration, then evaluates
+#                the condition one final time (the engine's last,
+#                not-all-true evaluation), and commits slot storage
+#                and the condition mirror to the caller's buffers.
+#   oob pass     only when the earliest recorded fault lands inside
+#                the lockstep extent: re-run to the faulting iteration,
+#                count events for the sites that executed before the
+#                fault, and collect the all-lane index extremes the
+#                engine puts in its error message.
+
+_I64MAX = "(int64_t)0x7fffffffffffffffLL"
+_I64MIN = "(-0x7fffffffffffffffLL - 1)"
+
+
+def input_expr(k: int, kl: int) -> str:
+    """Warp-frame expression for hoisted input ``k`` at class ``kl``."""
+    if kl in (S, C):
+        return f"in{k}"
+    return f"in{k}[l]"
+
+
+def _truthy(val: Val) -> str:
+    return _nonzero(val.expr, val.dt)
+
+
+def _emit_warp_stmts(stmts, L, pad):
+    """Emit (class, line) statements in program order; consecutive
+    lane-class (R/F) statements share one 32-lane loop, uniform-class
+    (S/C) statements execute once per warp."""
+    i = 0
+    while i < len(stmts):
+        scalar = stmts[i][0] in (S, C)
+        j = i
+        while j < len(stmts) and (stmts[j][0] in (S, C)) == scalar:
+            j += 1
+        if scalar:
+            for _, line in stmts[i:j]:
+                L.append(pad + line)
+        else:
+            L.append(pad + "for (int64_t l = 0; l < 32; l++) {")
+            for _, line in stmts[i:j]:
+                L.append(pad + "  " + line)
+            L.append(pad + "}")
+        i = j
+
+
+def _entry_stmts(plan):
+    """Carried slots load their entry values from the hoisted inputs."""
+    out = []
+    for name, st in plan.carried.items():
+        k = next(
+            i for i, sl in enumerate(plan.inputs)
+            if sl.kind == "reg" and sl.name == name
+        )
+        src = input_expr(k, plan.inputs[k].kl)
+        out.append((st.kl, f"{_LoopPlanner.read_slot(st)} = {src};"))
+    return out
+
+
+# C element type per buffer dtype code (same order as cgen.BUF_CODES /
+# the PREAMBLE's nb_load switch); the main pass emits one gather loop
+# per code so the load is a direct typed access instead of a
+# per-element dispatch the compiler cannot hoist.
+_BUF_CTYPES = ("float", "double", "int32_t", "int64_t", "uint32_t",
+               "uint64_t", "int16_t", "uint16_t", "int8_t", "uint8_t")
+
+
+def _emit_site_main(s: LdSite, L, pad):
+    """Main-pass load with a coalesced fast path.
+
+    The warp's 32 indices are materialized once, then checked for the
+    unit-stride pattern ``x0, x0+1, …, x0+31`` with an XOR-accumulate
+    (branch-free, vectorizable).  A coalesced in-bounds warp takes a
+    contiguous load — one specialized, vectorizable loop per buffer
+    dtype code — and its transaction count in closed form (consecutive
+    sorted indices span ``last>>shift - first>>shift + 1`` segments).
+    Everything else falls to the guarded generic gather, which records
+    the warp's first (iteration, site) fault — faulting lanes read 0.0;
+    any iteration that could observe the placeholder is past the
+    lockstep exit — and counts distinct 128-byte segments exactly like
+    ``_count_segments_sorted``."""
+    k = s.index
+    dst = f"{s.dst_slot.name}[l]"
+    L.append(pad + "{ int64_t xv_[32]; int64_t d;")
+    L.append(pad + "  for (int64_t l = 0; l < 32; l++)")
+    L.append(pad + f"    xv_[l] = {s.idx_val.expr};")
+    L.append(pad + "  const int64_t x0_ = xv_[0];")
+    L.append(pad + "  int64_t nu_ = 0;")
+    L.append(pad + "  for (int64_t l = 0; l < 32; l++)")
+    L.append(pad + "    nu_ |= xv_[l] ^ (x0_ + l);")
+    L.append(pad + f"  if (nu_ == 0 && x0_ >= 0 && x0_ + 31 < blen{k}) {{")
+    L.append(pad + f"    switch (bcode{k}) {{")
+    for code, ct in enumerate(_BUF_CTYPES):
+        load = f"(double)((const {ct} *)buf{k})[x0_ + l]"
+        if ct == "double":
+            load = f"((const double *)buf{k})[x0_ + l]"
+        L.append(pad + f"    case {code}:")
+        L.append(pad + "      for (int64_t l = 0; l < 32; l++)")
+        L.append(pad + f"        {dst} = {load};")
+        L.append(pad + "      break;")
+    L.append(pad + "    }")
+    L.append(pad + f"    d = ((x0_ + 31) >> shift{k})"
+                   f" - (x0_ >> shift{k}) + 1;")
+    L.append(pad + "  } else {")
+    L.append(pad + "    int64_t seg[32]; int mono = 1; d = 1;")
+    L.append(pad + "    for (int64_t l = 0; l < 32; l++) {")
+    L.append(pad + "      const int64_t x = xv_[l];")
+    L.append(pad + f"      if (x < 0 || x >= blen{k}) {{")
+    L.append(pad + f"        if (wo_it == {_I64MAX})"
+                   f" {{ wo_it = it_; wo_site = {k}; }}")
+    L.append(pad + f"        {dst} = 0.0;")
+    L.append(pad + "      } else {")
+    L.append(pad + f"        {dst} = nb_load(buf{k}, bcode{k}, x);")
+    L.append(pad + "      }")
+    L.append(pad + f"      const int64_t sg = x >> shift{k};")
+    L.append(pad + "      seg[l] = sg;")
+    L.append(pad + "      if (l) { if (sg < seg[l - 1]) mono = 0;"
+                   " d += (sg != seg[l - 1]); }")
+    L.append(pad + "    }")
+    L.append(pad + "    if (!mono) {")
+    L.append(pad + "      for (int64_t a = 1; a < 32; a++) {")
+    L.append(pad + "        const int64_t key = seg[a]; int64_t b = a;")
+    L.append(pad + "        while (b > 0 && seg[b - 1] > key)"
+                   " { seg[b] = seg[b - 1]; b--; }")
+    L.append(pad + "        seg[b] = key;")
+    L.append(pad + "      }")
+    L.append(pad + "      d = 1;")
+    L.append(pad + "      for (int64_t l = 1; l < 32; l++)")
+    L.append(pad + "        if (seg[l] != seg[l - 1]) d += 1;")
+    L.append(pad + "    }")
+    L.append(pad + "  }")
+    L.append(pad + f"  wtrans{k} += d;")
+    L.append(pad + "}")
+
+
+def _emit_site_exec(s: LdSite, L, pad):
+    """Commit-pass load: unguarded gather (the scan proved every
+    executed iteration in-bounds) plus the per-warp distinct 128-byte
+    segment count — monotonic fast path, insertion sort otherwise."""
+    k = s.index
+    dst = f"{s.dst_slot.name}[l]"
+    L.append(pad + "{ int64_t seg[32]; int mono = 1;")
+    L.append(pad + "  for (int64_t l = 0; l < 32; l++) {")
+    L.append(pad + f"    const int64_t x = {s.idx_val.expr};")
+    L.append(pad + f"    {dst} = nb_load(buf{k}, bcode{k}, x);")
+    L.append(pad + f"    seg[l] = x >> shift{k};")
+    L.append(pad + "    if (l && seg[l] < seg[l - 1]) mono = 0;")
+    L.append(pad + "  }")
+    L.append(pad + "  if (!mono) {")
+    L.append(pad + "    for (int64_t a = 1; a < 32; a++) {")
+    L.append(pad + "      const int64_t key = seg[a]; int64_t b = a;")
+    L.append(pad + "      while (b > 0 && seg[b - 1] > key)"
+                   " { seg[b] = seg[b - 1]; b--; }")
+    L.append(pad + "      seg[b] = key;")
+    L.append(pad + "    }")
+    L.append(pad + "  }")
+    L.append(pad + "  int64_t d = 1;")
+    L.append(pad + "  for (int64_t l = 1; l < 32; l++)")
+    L.append(pad + "    if (seg[l] != seg[l - 1]) d += 1;")
+    L.append(pad + f"  trans{k} += d;")
+    L.append(pad + "}")
+
+
+def _emit_site_bounds(s: LdSite, L, pad):
+    """Fault-site index extremes across the warp's lanes (the engine
+    reports the all-lane min/max in its error message)."""
+    L.append(pad + "for (int64_t l = 0; l < 32; l++) {")
+    L.append(pad + f"  const int64_t x = {s.idx_val.expr};")
+    L.append(pad + "  if (x < err_lo) err_lo = x;")
+    L.append(pad + "  if (x > err_hi) err_hi = x;")
+    L.append(pad + "}")
+
+
+def _emit_body(plan, L, pad, mode):
+    for chunk in plan.planner.body_layout:
+        if isinstance(chunk, list):
+            _emit_warp_stmts(chunk, L, pad)
+        elif mode == "main":
+            _emit_site_main(chunk, L, pad)
+        else:
+            _emit_site_exec(chunk, L, pad)
+
+
+def _emit_commit_tail(plan, L, pad):
+    """Divergence-mirror write plus the storage commit of every slot
+    (C-class to ``g_{name}[wi]``, lane classes to their row/full
+    coordinates); shared by the main pass (eager per-warp commit) and
+    the redo pass."""
+    cv = plan.cond_val
+    cs = plan.cond_slot
+    mirror = _LoopPlanner.read_slot(cs)
+    if cs.kl in (S, C):
+        L.append(pad + f"{mirror} = (uint8_t)({_truthy(cv)});")
+    else:
+        L.append(pad + "for (int64_t l = 0; l < 32; l++)")
+        L.append(pad + f"  {mirror} = (uint8_t)({_truthy(cv)});")
+    for st in plan.slots:
+        if st.kl == C:
+            L.append(pad + f"g_{st.name}[wi] = {st.name};")
+    lane_slots = [st for st in plan.slots if st.kl in (R, F)]
+    if lane_slots:
+        L.append(pad + "for (int64_t l = 0; l < 32; l++) {")
+        for st in lane_slots:
+            at = "jb + l" if st.kl == R else "wi * T + jb + l"
+            L.append(pad + f"  g_{st.name}[{at}] = {st.name}[l];")
+        L.append(pad + "}")
+
+
+def _emit_pass(plan, L, mode):
+    """One warp-major sweep: ``main`` (trip counts + fault discovery +
+    eager commit when the warp stops exactly at the running minimum),
+    ``commit`` (capped re-run after the optimistic commit was
+    invalidated) or ``oob`` (re-run to the fault, partial-iteration
+    events, index extremes)."""
+    sites = plan.sites
+    cv = plan.cond_val
+    w = "        " if mode == "oob" else "    "
+    L.append(w + "for (int64_t w_ = 0; w_ < NW; w_++) {")
+    p = w + "  "
+    L.append(p + "const int64_t wi = w_ / WPB, jb = (w_ % WPB) * 32;")
+    L.append(p + "(void)wi; (void)jb;")
+    lane_ins = []
+    for k, sl in enumerate(plan.inputs):
+        ct = _DT_C[sl.dt]
+        if sl.kl == S:
+            L.append(p + f"const {ct} in{k} = p{k}[0];")
+        elif sl.kl == C:
+            L.append(p + f"const {ct} in{k} = p{k}[wi * s{k}a];")
+        else:
+            L.append(p + f"{ct} in{k}[32];")
+            lane_ins.append(k)
+    if lane_ins:
+        L.append(p + "for (int64_t l = 0; l < 32; l++) {")
+        for k in lane_ins:
+            if plan.inputs[k].kl == R:
+                L.append(p + f"  in{k}[l] = p{k}[(jb + l) * s{k}b];")
+            else:
+                L.append(p + f"  in{k}[l] = "
+                             f"p{k}[wi * s{k}a + (jb + l) * s{k}b];")
+        L.append(p + "}")
+    for st in plan.slots:
+        ct = _DT_C[st.dt]
+        if st.kl == C:
+            L.append(p + f"{ct} {st.name} = 0;")
+        else:
+            L.append(p + f"{ct} {st.name}[32];")
+    _emit_warp_stmts(_entry_stmts(plan), L, p)
+
+    if mode == "main":
+        if sites:
+            L.append(p + f"int64_t wo_it = {_I64MAX}, wo_site = 0;")
+        for s in sites:
+            L.append(p + f"int64_t wtrans{s.index} = 0;")
+        L.append(p + "int64_t t_w = CAP + 2, nt_w = 0;")
+        L.append(p + "for (int64_t it_ = 1; it_ <= CAP + 1; it_++) {")
+        b = p + "  "
+        _emit_warp_stmts(plan.planner.code_cond, L, b)
+        L.append(b + "int64_t nt = 0;")
+        if cv.kl in (S, C):
+            L.append(b + f"nt = ({_truthy(cv)}) ? 32 : 0;")
+        else:
+            L.append(b + "for (int64_t l = 0; l < 32; l++)")
+            L.append(b + f"  nt += ({_truthy(cv)}) ? 1 : 0;")
+        L.append(b + "if (nt < 32) { t_w = it_; nt_w = nt; break; }")
+        _emit_body(plan, L, b, "main")
+        _emit_warp_stmts(plan.planner.code_carry, L, b)
+        L.append(p + "}")
+        # An earlier warp committed against a larger minimum (t_w < U
+        # with predecessors), this warp overshot the minimum
+        # (t_w > U), or the warp never stopped inside the cap: the
+        # optimistic commits are stale and the redo pass re-runs
+        # every warp at the final U_run.
+        L.append(p + "if (t_w < U) { if (w_) redo = 1;"
+                     " U = t_w; nmin = 1; allfalse = (nt_w == 0); }")
+        L.append(p + "else if (t_w == U)"
+                     " { nmin += 1; if (nt_w) allfalse = 0; }")
+        L.append(p + "else redo = 1;")
+        L.append(p + "if (t_w >= CAP + 2) redo = 1;")
+        if sites:
+            L.append(p + "if (wo_it < oob_it ||"
+                         " (wo_it == oob_it && wo_site < oob_site))")
+            L.append(p + "  { oob_it = wo_it; oob_site = wo_site; }")
+        # Eager commit: the warp stopped exactly at the running
+        # minimum, so its registers already hold the state the commit
+        # pass would recompute — including the failing evaluation's
+        # condition-phase bindings for the divergence mirror.
+        L.append(p + "if (!redo && t_w == U) {")
+        _emit_commit_tail(plan, L, p + "  ")
+        for s in sites:
+            L.append(p + f"  trans{s.index} += wtrans{s.index};")
+        L.append(p + "}")
+    elif mode == "commit":
+        L.append(p + "for (int64_t it_ = 1; it_ <= U_run; it_++) {")
+        b = p + "  "
+        _emit_warp_stmts(plan.planner.code_cond, L, b)
+        _emit_body(plan, L, b, "commit")
+        _emit_warp_stmts(plan.planner.code_carry, L, b)
+        L.append(p + "}")
+        # The final, not-all-true evaluation: condition-phase bindings
+        # and the divergence mirror come from here.
+        _emit_warp_stmts(plan.planner.code_cond, L, p)
+        _emit_commit_tail(plan, L, p)
+    else:  # oob
+        L.append(p + "for (int64_t it_ = 1; it_ <= oob_it; it_++) {")
+        b = p + "  "
+        _emit_warp_stmts(plan.planner.code_cond, L, b)
+        L.append(b + "if (it_ == oob_it) {")
+        bb = b + "  "
+        last_site = -1
+        for chunk in plan.planner.body_layout:
+            if isinstance(chunk, list):
+                L.append(bb + f"if (oob_site > {last_site}) {{")
+                _emit_warp_stmts(chunk, L, bb + "  ")
+                L.append(bb + "}")
+            else:
+                k = chunk.index
+                L.append(bb + f"if (oob_site > {k}) {{")
+                _emit_site_exec(chunk, L, bb + "  ")
+                L.append(bb + "} else {")
+                _emit_site_bounds(chunk, L, bb + "  ")
+                L.append(bb + "  goto oob_done;")
+                L.append(bb + "}")
+                last_site = k
+        L.append(b + "} else {")
+        _emit_body(plan, L, b + "  ", "commit")
+        _emit_warp_stmts(plan.planner.code_carry, L, b + "  ")
+        L.append(b + "}")
+        L.append(p + "}")
+        L.append(p + "oob_done: ;")
+    L.append(w + "}")
+
+
+def _loop_source(plan: LoopPlan) -> str:
+    inputs = plan.inputs
+    slots = plan.slots
+    sites = plan.sites
+    nin = len(inputs)
+    # P layout: inputs | slots | per-site buffer | S-out block
+    p_site = nin + len(slots)
+    p_sout = p_site + len(sites)
+    # M layout: B,T,CAP | input strides | per-site (len, code) | outputs
+    m_site = M_FIXED + 2 * nin
+    m_out = m_site + 2 * len(sites)
+    plan.m_out = m_out
+    plan.m_len = m_out + OUT_N_FIXED + 2 * len(sites)
+
+    L = [f"EXPORT int64_t {plan.fname}(void **P, int64_t *M)", "{"]
+    L.append(f"    const int64_t B = M[{M_B}], T = M[{M_T}], "
+             f"CAP = M[{M_CAP}];")
+    L.append("    const int64_t WPB = T / 32, NW = B * WPB;")
+    L.append("    (void)B;")
+    for k, sl in enumerate(inputs):
+        ct = _DT_C[sl.dt]
+        L.append(f"    const {ct} *p{k} = (const {ct} *)P[{k}];")
+        L.append(f"    const int64_t s{k}a = M[{M_FIXED + 2 * k}], "
+                 f"s{k}b = M[{M_FIXED + 2 * k + 1}];")
+        L.append(f"    (void)s{k}a; (void)s{k}b;")
+    for n, st in enumerate(slots):
+        ct = _DT_C[st.dt]
+        L.append(f"    {ct} *g_{st.name} = ({ct} *)P[{nin + n}];")
+    for s in sites:
+        L.append(f"    const void *buf{s.index} = P[{p_site + s.index}];")
+        L.append(f"    const int64_t blen{s.index} = "
+                 f"M[{m_site + 2 * s.index}];")
+        L.append(f"    const int64_t bcode{s.index} = "
+                 f"M[{m_site + 2 * s.index + 1}];")
+        L.append(f"    int64_t shift{s.index} = 7;")
+        L.append(f"    {{ int64_t v_ = nb_item[bcode{s.index}];"
+                 f" while (v_ > 1) {{ v_ >>= 1; shift{s.index} -= 1; }} }}")
+    for st in plan.s_decls:
+        L.append(f"    {_DT_C[st.dt]} {st.name} = 0;")
+    L.append("    int64_t it = 0, evals = 0, completed = 0, rc = 0;")
+    L.append("    int64_t err_site = 0, err_lo = 0, err_hi = 0;")
+    for s in sites:
+        L.append(f"    int64_t trans{s.index} = 0, execs{s.index} = 0;")
+
+    L.append("    int64_t U = CAP + 2, nmin = 0, allfalse = 1;")
+    L.append("    int64_t redo = 0;")
+    if sites:
+        L.append(f"    int64_t oob_it = {_I64MAX}, oob_site = 0;")
+    _emit_pass(plan, L, "main")
+
+    L.append("    int64_t U_run;")
+    L.append(f"    if (U >= CAP + 2) {{ rc = {RC_CAP}; U_run = CAP; }}")
+    L.append(f"    else if (nmin == NW && allfalse)"
+             f" {{ rc = {RC_CLEAN}; U_run = U - 1; }}")
+    L.append(f"    else {{ rc = {RC_MIXED}; U_run = U - 1; }}")
+    if sites:
+        L.append("    if (oob_it <= U_run) {")
+        L.append(f"        rc = {RC_OOB}; err_site = oob_site;")
+        L.append(f"        err_lo = {_I64MAX}; err_hi = {_I64MIN};")
+        for s in sites:
+            L.append(f"        trans{s.index} = 0;")
+        _emit_pass(plan, L, "oob")
+        for s in sites:
+            L.append(f"        execs{s.index} = oob_it - 1 + "
+                     f"((int64_t){s.index} < oob_site ? 1 : 0);")
+        L.append("        it = oob_it; evals = oob_it;"
+                 " completed = oob_it - 1;")
+        L.append("        goto out;")
+        L.append("    }")
+    L.append("    if (redo) {")
+    for s in sites:
+        L.append(f"    trans{s.index} = 0;")
+    _emit_pass(plan, L, "commit")
+    L.append("    }")
+    L.append("    evals = U_run + 1; completed = U_run;")
+    L.append(f"    it = (rc == {RC_CAP}) ? CAP + 1 : U_run;")
+    for s in sites:
+        L.append(f"    execs{s.index} = U_run;")
+
+    L.append("out:")
+    L.append(f"    M[{m_out + OUT_ITERS}] = it;")
+    L.append(f"    M[{m_out + OUT_EVALS}] = evals;")
+    L.append(f"    M[{m_out + OUT_COMPLETED}] = completed;")
+    L.append(f"    M[{m_out + OUT_ERR_SITE}] = err_site;")
+    L.append(f"    M[{m_out + OUT_ERR_LO}] = err_lo;")
+    L.append(f"    M[{m_out + OUT_ERR_HI}] = err_hi;")
+    for s in sites:
+        L.append(f"    M[{m_out + OUT_N_FIXED + 2 * s.index}] = "
+                 f"trans{s.index};")
+        L.append(f"    M[{m_out + OUT_N_FIXED + 2 * s.index + 1}] = "
+                 f"execs{s.index};")
+    for n, st in enumerate(plan.s_decls):
+        ct = _DT_C[st.dt]
+        L.append(f"    (({ct} *)P[{p_sout + n}])[0] = {st.name};")
+    L.append("    return rc;")
+    L.append("}")
+    return "\n".join(L) + "\n"

@@ -14,6 +14,7 @@ from .lint import lint_kernel, lint_plan
 from .negatives import NEGATIVE_BUILDERS, all_negatives
 from .report import (
     DEFAULT_ENGINES,
+    default_engines,
     NegativeReport,
     VariantReport,
     check_negatives,
@@ -33,6 +34,7 @@ __all__ = [
     "NEGATIVE_BUILDERS",
     "all_negatives",
     "DEFAULT_ENGINES",
+    "default_engines",
     "NegativeReport",
     "VariantReport",
     "check_negatives",
