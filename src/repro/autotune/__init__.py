@@ -7,6 +7,7 @@ from .tuner import (
     TuneResult,
     best_tuned_version,
     configurations,
+    explain_pruning,
     tune_all,
     tune_version,
 )
@@ -20,6 +21,7 @@ __all__ = [
     "TuneResult",
     "best_tuned_version",
     "configurations",
+    "explain_pruning",
     "tune_all",
     "tune_version",
 ]

@@ -97,3 +97,22 @@ class DynamicSelector:
         """Run the selected version on actual data (functional)."""
         entry = self.select(len(data))
         return self.framework.run(data, entry.version_key, entry.tunables)
+
+    def explain(self, n: int, candidates=None, top: int = 3) -> dict:
+        """Why the entry covering ``n`` wins its bucket, counter-cited.
+
+        Re-derives the bucket's tuning verdict (pure cache hits after
+        :meth:`build`) and returns
+        :func:`repro.autotune.tuner.explain_pruning`'s attribution —
+        the winner, the runner-up it pruned, and the timing-model
+        components (with their counters) that account for the margin.
+        """
+        from .tuner import explain_pruning, tune_all
+
+        entry = self.select(n)
+        results = tune_all(
+            self.framework, entry.max_n, self.arch, candidates
+        )
+        return explain_pruning(
+            self.framework, results, entry.max_n, self.arch, top=top
+        )

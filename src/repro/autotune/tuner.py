@@ -133,3 +133,38 @@ def best_tuned_version(
     key = min(results, key=lambda k: results[k].time_s)
     winner = results[key]
     return key, winner.tunables, winner.time_s
+
+
+def explain_pruning(framework, results, n: int, arch, top: int = 3) -> dict:
+    """Counter-cited justification for a tuning verdict.
+
+    ``results`` is :func:`tune_all`'s ``{key: TuneResult}``. The
+    runner-up is diffed against the winner through
+    :func:`repro.obs.explain.diff_explanations` (each under its own
+    tuned launch parameters), so the pruning decision cites the same
+    component/counter attribution ``repro explain --diff`` prints —
+    the timing model's own additive verdict, not a heuristic. The
+    returned ``cited`` rows are the top nonzero component deltas,
+    each carrying its counter citations.
+    """
+    from ..obs.explain import diff_explanations, explain_variant
+
+    if len(results) < 2:
+        raise ValueError("explain_pruning needs at least two candidates")
+    order = sorted(results, key=lambda key: results[key].time_s)
+    winner_key, runner_key = order[0], order[1]
+    winner, runner = results[winner_key], results[runner_key]
+    runner_expl = explain_variant(
+        framework, runner_key, n, arch, runner.tunables, coverage=False
+    )
+    winner_expl = explain_variant(
+        framework, winner_key, n, arch, winner.tunables, coverage=False
+    )
+    diff = diff_explanations(runner_expl, winner_expl)
+    return {
+        "winner": winner_expl["identifier"],
+        "runner_up": runner_expl["identifier"],
+        "margin_s": runner.time_s - winner.time_s,
+        "cited": [row for row in diff["ranking"] if row["delta_s"]][:top],
+        "diff": diff,
+    }

@@ -10,8 +10,13 @@ Commands:
 * ``tune``      — sweep tunable parameters for one version;
 * ``sanitize``  — race/barrier-divergence sanitizer over the catalog;
 * ``cache``     — inspect or clear the unified profile cache;
-* ``trace``     — run any command with tracing on, write a Chrome trace;
-* ``stats``     — dump the metrics-registry snapshot.
+* ``trace``     — run any command with tracing on, write a Chrome trace
+  (and, with ``--flame``, a collapsed-stack flamegraph);
+* ``stats``     — dump the metrics-registry snapshot;
+* ``explain``   — counter-derived "why" analytics for one variant, or
+  an A/B diff attributing the timing-model delta to counters;
+* ``bench``     — report on the append-only bench ledger
+  (``BENCH_ledger.jsonl``) with per-metric regression attribution.
 
 Set ``REPRO_CACHE_DIR`` to persist profiles on disk across invocations;
 ``--cache-stats`` on ``time``/``tune`` prints hit/miss/time-saved
@@ -70,6 +75,21 @@ def _engine_help() -> str:
     return (f"simulator engine spec: an execution mode ({modes}), a "
             f"dispatch backend ({backends}), or mode-backend (default: "
             "auto, i.e. compiled dispatch)")
+
+
+def _write_json(payload, path, label) -> None:
+    """Emit a JSON payload: to ``path``, or stdout when path is ``-``
+    or None (shared by every ``--json`` option)."""
+    import json
+
+    text = json.dumps(payload, indent=2, default=str)
+    if path in (None, "-"):
+        print(text)
+    else:
+        with open(path, "w") as handle:
+            handle.write(text)
+            handle.write("\n")
+        print(f"[{label}] JSON -> {path}")
 
 
 def _framework(args):
@@ -233,14 +253,10 @@ def cmd_sanitize(args) -> int:
                 print(line)
     unflagged = [r for r in negative_reports if not r.flagged]
     if args.json:
-        import json
-
-        with open(args.json, "w") as handle:
-            json.dump(
-                report_json(reports, negative_reports, args.n),
-                handle, indent=2,
-            )
-        print(f"[sanitize] report -> {args.json}")
+        _write_json(
+            report_json(reports, negative_reports, args.n),
+            args.json, "sanitize",
+        )
     print(
         f"[sanitize] {len(reports) - len(dirty)}/{len(reports)} variants "
         f"clean"
@@ -299,6 +315,9 @@ def cmd_trace(args) -> int:
         count = tracer.export_chrome(args.out)
         print(f"[trace] {count} spans -> {args.out}"
               + (f" ({tracer.dropped} dropped)" if tracer.dropped else ""))
+        if args.flame:
+            stacks = tracer.export_collapsed(args.flame)
+            print(f"[trace] {stacks} collapsed stacks -> {args.flame}")
         for line in text_summary(tracer.spans):
             print(f"[trace] {line}")
     return code
@@ -308,14 +327,62 @@ def cmd_stats(args) -> int:
     from .obs import default_metrics
 
     metrics = default_metrics()
-    if args.json:
-        import json
-
-        print(json.dumps(metrics.snapshot(), indent=2, default=str))
+    if args.json is not False:
+        _write_json(metrics.snapshot(), args.json, "stats")
     else:
         for line in metrics.summary_lines():
             print(line)
     return 0
+
+
+def cmd_explain(args) -> int:
+    from .obs.explain import (
+        explain_diff,
+        explain_variant,
+        format_diff,
+        format_explain,
+    )
+
+    fw = _framework(args)
+    if args.diff:
+        diff = explain_diff(fw, args.diff[0], args.diff[1], args.n, args.arch)
+        for line in format_diff(diff, top=args.top):
+            print(line)
+        payload = diff
+    else:
+        if not args.version:
+            print("repro explain: a variant label or --diff A B is required",
+                  file=sys.stderr)
+            return 2
+        explanation = explain_variant(
+            fw, args.version, args.n, args.arch,
+            coverage=not args.no_coverage,
+        )
+        for line in format_explain(explanation):
+            print(line)
+        payload = explanation
+    if args.json:
+        _write_json(payload, args.json, "explain")
+    return 0
+
+
+def cmd_bench_report(args) -> int:
+    from .obs.ledger import detect_regressions, format_report, read_ledger
+
+    entries = read_ledger(args.ledger)
+    regressions = detect_regressions(entries, window=args.window)
+    for line in format_report(entries, regressions, window=args.window):
+        print(line)
+    if args.json:
+        _write_json(
+            {
+                "ledger": args.ledger,
+                "entries": len(entries),
+                "regressions": regressions,
+            },
+            args.json, "bench",
+        )
+    return 1 if regressions else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -432,6 +499,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="trace.json",
                    help="output path for the Chrome trace (default: "
                         "trace.json)")
+    p.add_argument("--flame", default=None, metavar="PATH",
+                   help="also write a collapsed-stack flamegraph "
+                        "(flamegraph.pl / speedscope input)")
     p.add_argument("rest", nargs=argparse.REMAINDER,
                    help="the repro command to run under tracing")
     p.set_defaults(func=cmd_trace)
@@ -439,9 +509,72 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "stats", help="dump the observability metrics snapshot"
     )
-    p.add_argument("--json", action="store_true",
-                   help="emit the full snapshot as JSON")
+    p.add_argument("--json", nargs="?", const="-", default=False,
+                   metavar="PATH",
+                   help="emit the full snapshot as JSON, to PATH or "
+                        "stdout when no path is given")
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "explain",
+        help="counter-derived 'why' analytics for one variant, or an "
+             "A/B timing-delta attribution",
+        description=(
+            "Derive the paper's figure-of-merit metrics (coalescing "
+            "efficiency, divergence ratio, shuffle/shared/barrier mix, "
+            "atomic contention, lowering coverage) from the recorded "
+            "event counters, and — with --diff — rank which counters "
+            "account for the timing-model delta between two variants."
+        ),
+    )
+    _add_common(p)
+    p.add_argument("version", nargs="?", default=None,
+                   help="Figure 6 label to explain (omit with --diff)")
+    p.add_argument("-n", "--size", type=int, dest="n", default=65536,
+                   help="input size in elements (default: 65536)")
+    p.add_argument("--diff", nargs=2, metavar=("A", "B"), default=None,
+                   help="attribute the timing delta between two labels")
+    p.add_argument("--arch", default="pascal",
+                   choices=("kepler", "maxwell", "pascal"))
+    p.add_argument("--top", type=int, default=6,
+                   help="attribution rows to print with --diff "
+                        "(default: 6)")
+    p.add_argument("--no-coverage", action="store_true",
+                   help="skip the fuse/native lowering-coverage pass")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="also write the full payload as JSON "
+                        "('-' for stdout)")
+    p.add_argument("--engine", default="auto", type=_engine_spec,
+                   help="simulator engine spec used for profiling (see "
+                        "'reduce --engine')")
+    p.set_defaults(func=cmd_explain)
+
+    p = sub.add_parser(
+        "bench",
+        help="bench-ledger reports (BENCH_ledger.jsonl)",
+    )
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+    b = bench_sub.add_parser(
+        "report",
+        help="judge the newest ledger entry against the trailing window",
+        description=(
+            "Read the append-only bench ledger and compare the newest "
+            "entry's watched metrics against the best of the trailing "
+            "window. Exits non-zero when any metric regressed, with "
+            "per-metric attribution (which ratio fell, which structure "
+            "count dropped)."
+        ),
+    )
+    from .obs.ledger import DEFAULT_WINDOW, default_ledger_path
+
+    b.add_argument("--ledger", default=default_ledger_path(),
+                   help="ledger path (default: ./BENCH_ledger.jsonl)")
+    b.add_argument("--window", type=int, default=DEFAULT_WINDOW,
+                   help=f"trailing entries to judge against (default: "
+                        f"{DEFAULT_WINDOW})")
+    b.add_argument("--json", default=None, metavar="PATH",
+                   help="also write the report as JSON ('-' for stdout)")
+    b.set_defaults(func=cmd_bench_report)
     return parser
 
 

@@ -50,6 +50,7 @@ import weakref
 import numpy as np
 
 from ..obs import default_metrics, get_tracer
+from ..obs.fragments import FragmentProfiler, instrument_trace
 from ..vir.instructions import (
     AtomGlobal,
     AtomShared,
@@ -451,7 +452,15 @@ class Executor:
         profile.meta["exec.mode"] = mode
         profile.meta["exec.backend"] = self.backend
         trace = self._backend.trace(kernel)
-        with get_tracer().span(
+        tracer = get_tracer()
+        fragprof = None
+        if tracer.enabled and self.backend in ("vector", "native"):
+            # Per-launch trace copy with wall-clock shims on the
+            # top-level fragments; the backend's memoized trace and the
+            # disabled fast path are untouched.
+            fragprof = FragmentProfiler()
+            trace = instrument_trace(trace, fragprof)
+        with tracer.span(
             "exec.launch",
             kernel=kernel.name,
             grid=step.grid,
@@ -475,6 +484,7 @@ class Executor:
                         atomic_addr_counts,
                         trace=trace,
                         san=san,
+                        fragprof=fragprof,
                     )
                     chunk.run()
             else:
@@ -487,6 +497,7 @@ class Executor:
                         atomic_addr_counts,
                         trace=trace,
                         san=san,
+                        fragprof=fragprof,
                     )
                     block.run()
 
@@ -500,6 +511,8 @@ class Executor:
                     self._launch_max_same_addr(atomic_addr_counts, profile, step)
                 )
             span.set(events={k: int(v) for k, v in profile.events.items()})
+            if fragprof is not None and fragprof.totals:
+                span.set(**fragprof.span_args())
         metrics = default_metrics()
         metrics.inc(f"exec.launch.{mode}")
         metrics.inc_many(profile.events, prefix="sim.")
@@ -532,7 +545,7 @@ class _BlockRun:
     """Execution state of one block (registers, shared memory, masks)."""
 
     def __init__(self, executor, step, block_id, events, atomic_addr_counts,
-                 trace=None, san=None):
+                 trace=None, san=None, fragprof=None):
         self.executor = executor
         self.device = executor.device
         self.step = step
@@ -543,6 +556,7 @@ class _BlockRun:
         self.events = events
         self.atomic_addr_counts = atomic_addr_counts
         self.trace = trace
+        self.fragprof = fragprof
         self.san = san
         self.regs = {}
         self.shared = {
@@ -1065,11 +1079,12 @@ class _BatchedRun:
     """
 
     def __init__(self, executor, step, block_ids, events, atomic_addr_counts,
-                 trace=None, san=None):
+                 trace=None, san=None, fragprof=None):
         self.executor = executor
         self.device = executor.device
         self.step = step
         self.kernel = step.kernel
+        self.fragprof = fragprof
         self.block_ids = np.asarray(block_ids, dtype=np.int64)
         self.nblocks = len(self.block_ids)
         self.nthreads = step.block

@@ -1059,6 +1059,9 @@ def _c_while_fast(instr, cond_trace, body_trace, kernel_name=None, index=0):
                     )
                 for fn in body_trace:
                     fn(state, mask)
+        from ..obs.fragments import note_fallback
+
+        note_fallback(state, "fused.loop", "divergent-continue")
         _while_divergent_continue(
             state, mask, cond, iterations, cond_trace, body_trace,
             cond_read,

@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ...obs.fragments import note_fallback
 from ...vir.instructions import If, Imm, Reg, Shfl, While
 from ..compile import _reader, compile_kernel
 from ..engine import (
@@ -228,6 +229,7 @@ def _make_region_wrapper(plan, cell, fallback):
 
     def run(state, mask):
         if not state._cur_all or len(state.shape) != 2:
+            note_fallback(state, "native.region", "mask-or-shape")
             fallback(state, mask)
             return
         shape = state.shape
@@ -262,14 +264,17 @@ def _make_region_wrapper(plan, cell, fallback):
             arr = _fetch_input(state, sl)
             if arr is not last[i]:
                 if not isinstance(arr, np.ndarray) or arr.dtype != npdt:
+                    note_fallback(state, "native.region", "input-dtype")
                     fallback(state, mask)
                     return
                 st = _element_strides(arr, nblocks, nthreads)
                 if st is None:
+                    note_fallback(state, "native.region", "input-strides")
                     fallback(state, mask)
                     return
                 observed = (1 if st[1] else 0) | (2 if st[0] else 0)
                 if observed | kl != kl:
+                    note_fallback(state, "native.region", "input-layout")
                     fallback(state, mask)
                     return
                 parr[i] = arr.ctypes.data
@@ -331,11 +336,13 @@ def _make_loop_wrapper(plan, cell, fallback, instr):
             or state.san is not None
             or len(state.shape) != 2
         ):
+            note_fallback(state, "native.loop", "mask-san-or-shape")
             fallback(state, mask)
             return
         nblocks, nthreads = state.shape
         if nthreads % 32:
             # Warp-major execution needs whole 32-lane warps per block.
+            note_fallback(state, "native.loop", "partial-warp")
             fallback(state, mask)
             return
         P = []
@@ -343,6 +350,7 @@ def _make_loop_wrapper(plan, cell, fallback, instr):
         keep = []
         if not _gather_inputs(state, inputs, nblocks, nthreads, P, M,
                               keep):
+            note_fallback(state, "native.loop", "input-gather")
             fallback(state, mask)
             return
         # Slot storage is reused across launches: a top-level megafused
@@ -394,6 +402,7 @@ def _make_loop_wrapper(plan, cell, fallback, instr):
                 or arr.ndim != 1
                 or not arr.flags["C_CONTIGUOUS"]
             ):
+                note_fallback(state, "native.loop", "site-buffer")
                 fallback(state, mask)
                 return
             site_arrs.append(arr)
@@ -466,6 +475,7 @@ def _make_loop_wrapper(plan, cell, fallback, instr):
                 f"iteration cap ({cap})"
             )
         if rc == cloop.RC_MIXED:
+            note_fallback(state, "native.loop", "divergent-continue")
             mirror = storage_value(plan.cond_slot)
             cond = _broadcast_core(mirror, cond_kl, state.shape)
             _while_divergent_continue(
@@ -515,6 +525,7 @@ def _make_shfl_wrapper(instr, dt, cell, fallback):
             or instr.offset is not off_op
             or width0 not in _SHFL_WIDTHS
         ):
+            note_fallback(state, "native.shfl", "guard")
             fallback(state, mask)
             return
         offset = off_imm
@@ -532,6 +543,7 @@ def _make_shfl_wrapper(instr, dt, cell, fallback):
                     if bool((core == core.flat[0]).all()):
                         offset = int(core.flat[0])
             if offset is None:
+                note_fallback(state, "native.shfl", "offset-not-uniform")
                 fallback(state, mask)
                 return
         src = state.regs.get(src_name)
@@ -542,6 +554,7 @@ def _make_shfl_wrapper(instr, dt, cell, fallback):
                 mode0, width0, offset, state.nthreads
             )
             if source_lane is None:
+                note_fallback(state, "native.shfl", "offset-unsupported")
                 fallback(state, mask)
                 return
             cache[key] = source_lane
@@ -576,11 +589,13 @@ def _make_shfl_wrapper(instr, dt, cell, fallback):
                 or src.shape != state.shape
                 or src.dtype != npdt
             ):
+                note_fallback(state, "native.shfl", "src-dtype-shape")
                 fallback(state, mask)
                 return
             item = src.itemsize
             sa, sb = src.strides
             if sa % item or sb % item:
+                note_fallback(state, "native.shfl", "src-strides")
                 fallback(state, mask)
                 return
             parr[0] = src.ctypes.data
@@ -653,6 +668,7 @@ def _make_chain_wrapper(plan, cell, members, items):
             or len(state.shape) != 2
             or state.shape[1] % 32
         ):
+            note_fallback(state, "native.chain", "mask-san-or-shape")
             fallback(state, mask)
             return
         shape = state.shape
@@ -682,14 +698,17 @@ def _make_chain_wrapper(plan, cell, members, items):
             arr = _fetch_input(state, sl)
             if arr is not last[i]:
                 if not isinstance(arr, np.ndarray) or arr.dtype != npdt:
+                    note_fallback(state, "native.chain", "input-dtype")
                     fallback(state, mask)
                     return
                 st = _element_strides(arr, nblocks, nthreads)
                 if st is None:
+                    note_fallback(state, "native.chain", "input-strides")
                     fallback(state, mask)
                     return
                 observed = (1 if st[1] else 0) | (2 if st[0] else 0)
                 if observed | kl != kl:
+                    note_fallback(state, "native.chain", "input-layout")
                     fallback(state, mask)
                     return
                 parr[i] = arr.ctypes.data
@@ -957,7 +976,8 @@ def _lower_fresh(kernel) -> NativeKernel:
                 lo.lowered_chains = 0
             else:
                 metrics.observe(
-                    "native.compile_s", time.perf_counter() - start
+                    "native.compile_us",
+                    (time.perf_counter() - start) * 1e6,
                 )
                 for cell, fname in lo.pending:
                     cell[0] = lib.get(fname)

@@ -85,18 +85,22 @@ def kernel_time(
     # issue, barriers): with few resident warps their pipeline latency
     # cannot be hidden, so the effective per-instruction cost rises from
     # 1/IPC to latency/resident_warps (classic SIMT latency-hiding).
-    issue = 0.0
-    issue += events.get("inst.alu", 0) * arch.alu_cpi
-    issue += events.get("inst.shfl", 0) * arch.shfl_cpi
-    issue += (
-        events.get("inst.ld.global", 0) + events.get("inst.st.global", 0)
-    ) * arch.ld_global_cpi
-    issue += (
-        events.get("inst.ld.shared", 0)
-        + events.get("inst.st.shared", 0)
-        + events.get("mem.shared.replays", 0)
-    ) * arch.ld_shared_cpi
-    issue += events.get("inst.bar", 0) * warps_per_block * arch.bar_cpi
+    # Kept as a per-class dict so the explain layer can attribute the
+    # compute term back to individual counters (repro.obs.explain).
+    issue_by_class = {
+        "alu": events.get("inst.alu", 0) * arch.alu_cpi,
+        "shfl": events.get("inst.shfl", 0) * arch.shfl_cpi,
+        "global_issue": (
+            events.get("inst.ld.global", 0) + events.get("inst.st.global", 0)
+        ) * arch.ld_global_cpi,
+        "shared": (
+            events.get("inst.ld.shared", 0)
+            + events.get("inst.st.shared", 0)
+            + events.get("mem.shared.replays", 0)
+        ) * arch.ld_shared_cpi,
+        "barrier": events.get("inst.bar", 0) * warps_per_block * arch.bar_cpi,
+    }
+    issue = sum(issue_by_class.values())
 
     # Atomic operations retire at the atomic units' throughput — they are
     # fire-and-forget, so they do not pay the dependence-latency penalty.
@@ -172,6 +176,8 @@ def kernel_time(
         total=total,
         detail={
             "issue_cycles": issue,
+            "issue_by_class": issue_by_class,
+            "atomic_issue_cycles": atomic_issue,
             "per_instr_cost": per_instr_cost,
             "waves": waves,
             "resident_warps": resident_warps,
@@ -218,3 +224,89 @@ def plan_breakdown(profile: PlanProfile, arch: Architecture) -> list:
         breakdown.total += breakdown.launch_overhead
         results.append(breakdown)
     return results
+
+
+# ---------------------------------------------------------------------
+# additive component decomposition (consumed by repro.obs.explain)
+# ---------------------------------------------------------------------
+
+#: Order in which timing terms claim the "dominant" slot when tied —
+#: fixed so the decomposition is deterministic for a given profile.
+_TERM_ORDER = ("compute", "memory", "atomic_global", "atomic_shared")
+
+
+def kernel_components(
+    profile: StepProfile, arch: Architecture, load_pattern: str = None
+) -> dict:
+    """One launch's modelled time as an **exactly additive** component map.
+
+    :func:`kernel_time` combines its four terms nonlinearly (the dominant
+    term counts in full, the rest leak :data:`OVERLAP_LEAK`), which makes
+    "which counter accounts for the delta" ill-posed on the raw terms.
+    This helper bakes the dominant/leak weighting into each term — the
+    dominant term keeps weight 1, every other weight ``OVERLAP_LEAK`` —
+    and then splits the compute term linearly over its per-instruction-
+    class issue cycles.  The result: ``sum(components.values())`` equals
+    ``kernel_time(...).total`` to float round-off, so per-component
+    deltas between two variants sum to the model's timing delta.
+    """
+    breakdown = kernel_time(profile, arch, load_pattern)
+    detail = breakdown.detail
+    terms = {
+        "compute": breakdown.compute,
+        "memory": breakdown.memory,
+        "atomic_global": breakdown.atomic_global,
+        "atomic_shared": breakdown.atomic_shared_block,
+    }
+    dominant = max(_TERM_ORDER, key=lambda name: (terms[name], -_TERM_ORDER.index(name)))
+    weight = {
+        name: 1.0 if name == dominant else OVERLAP_LEAK
+        for name in _TERM_ORDER
+    }
+    components = {}
+    # compute splits linearly over issue cycles per instruction class.
+    sm_used = detail["sm_used"]
+    per_instr_cost = detail["per_instr_cost"]
+    clock_hz = arch.clock_ghz * 1e9
+    for cls, cycles in detail["issue_by_class"].items():
+        components[f"compute.{cls}"] = (
+            weight["compute"] * (cycles / sm_used) * per_instr_cost / clock_hz
+        )
+    components["compute.atomic_issue"] = (
+        weight["compute"]
+        * (detail["atomic_issue_cycles"] / sm_used)
+        / arch.ipc_per_sm
+        / clock_hz
+    )
+    components["memory.dram"] = weight["memory"] * breakdown.memory
+    components["atomic.global_serial"] = (
+        weight["atomic_global"] * breakdown.atomic_global
+    )
+    components["atomic.shared_serial"] = (
+        weight["atomic_shared"] * breakdown.atomic_shared_block
+    )
+    return components
+
+
+def plan_components(
+    profile: PlanProfile,
+    arch: Architecture,
+    num_memsets: int = 0,
+    extra_host_overhead_s: float = 0.0,
+) -> dict:
+    """Whole-plan additive components: kernels + launch/host overheads.
+
+    ``sum(plan_components(...).values())`` equals
+    :func:`plan_time` with the same arguments to float round-off.
+    """
+    total = {}
+    for step in profile.steps:
+        for name, seconds in kernel_components(step, arch).items():
+            total[name] = total.get(name, 0.0) + seconds
+    total["launch.overhead"] = (
+        len(profile.steps) * arch.kernel_launch_overhead_us * 1e-6
+    )
+    host = extra_host_overhead_s + num_memsets * MEMSET_OVERHEAD_S
+    if host:
+        total["host.overhead"] = host
+    return total

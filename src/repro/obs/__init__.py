@@ -14,7 +14,14 @@ See ``docs/OBSERVABILITY.md`` for the span catalog, the metrics
 registry, and how to load traces in ``chrome://tracing`` / Perfetto.
 """
 
-from .export import chrome_trace_events, text_summary, write_chrome_trace, write_jsonl
+from .export import (
+    chrome_trace_events,
+    collapsed_stacks,
+    text_summary,
+    write_chrome_trace,
+    write_collapsed,
+    write_jsonl,
+)
 from .metrics import MetricsRegistry, default_metrics
 from .tracer import (
     TRACE_ENV,
@@ -31,11 +38,13 @@ __all__ = [
     "TRACE_ENV",
     "Tracer",
     "chrome_trace_events",
+    "collapsed_stacks",
     "default_metrics",
     "disable_tracing",
     "enable_tracing",
     "get_tracer",
     "text_summary",
     "write_chrome_trace",
+    "write_collapsed",
     "write_jsonl",
 ]

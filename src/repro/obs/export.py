@@ -92,6 +92,62 @@ def write_jsonl(spans, path) -> None:
             handle.write("\n")
 
 
+def _thread_name(tid: int) -> str:
+    if tid >= WORKER_TID_BASE:
+        return f"worker-{tid - WORKER_TID_BASE}"
+    if tid == 0:
+        return "main"
+    return f"thread-{tid}"
+
+
+def collapsed_stacks(spans) -> list:
+    """Spans → collapsed-stack lines (``frame;frame;frame <self-us>``).
+
+    The format consumed by ``flamegraph.pl``, speedscope and inferno:
+    one line per unique stack, the count being the stack's *self* time
+    in integer microseconds. Nesting is reconstructed per thread from
+    the recorded ``depth``; each thread's stacks are rooted at its lane
+    name (``main`` / ``worker-<k>``), matching the Chrome export. The
+    output is sorted, so a fixed trace yields byte-identical lines.
+    """
+    by_tid = {}
+    for span in spans:
+        by_tid.setdefault(span.tid, []).append(span)
+    totals = {}
+    for tid in sorted(by_tid):
+        # Sort by start time; a parent enters before its children, and
+        # on identical timestamps the shallower frame is the parent.
+        ordered = sorted(by_tid[tid], key=lambda s: (s.ts, s.depth))
+        stack = [_thread_name(tid)]
+        for span in ordered:
+            # depth is 0-based from the thread's outermost frame; frame
+            # 0 of the stack is the synthetic thread root.
+            del stack[span.depth + 1:]
+            parent = ";".join(stack)
+            stack.append(span.name)
+            path = ";".join(stack)
+            self_us = span.dur * 1e6
+            totals[path] = totals.get(path, 0.0) + self_us
+            # A child's time is not the parent's self time.
+            totals[parent] = totals.get(parent, 0.0) - self_us
+    lines = []
+    for path in sorted(totals):
+        value = int(round(totals[path]))
+        if value > 0:
+            lines.append(f"{path} {value}")
+    return lines
+
+
+def write_collapsed(spans, path) -> int:
+    """Write collapsed stacks to ``path``; returns the line count."""
+    lines = collapsed_stacks(spans)
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in lines:
+            handle.write(line)
+            handle.write("\n")
+    return len(lines)
+
+
 def text_summary(spans) -> list:
     """Per-span-name aggregate lines (count, total/mean/max duration)."""
     if not spans:

@@ -64,7 +64,13 @@ class MetricsRegistry:
             self._gauges[name] = value
 
     def observe(self, name: str, value) -> None:
-        """Record one histogram sample (count/total/min/max + log2 buckets)."""
+        """Record one histogram sample (count/total/min/max + log2 buckets).
+
+        The buckets are power-of-two, so every value below 1 collapses
+        into bucket 0 — record timings in a fixed sub-second unit
+        (microseconds, with a ``_us`` name suffix so
+        :meth:`summary_lines` labels the unit), never in raw seconds.
+        """
         with self._lock:
             hist = self._hists.get(name)
             if hist is None:
@@ -127,9 +133,11 @@ class MetricsRegistry:
         if snap["histograms"]:
             lines.append("histograms:")
             for name, hist in snap["histograms"].items():
+                unit = _hist_unit(name)
                 lines.append(
                     f"  {name}: count={hist['count']} mean={hist['mean']:.2f} "
                     f"min={hist['min']} max={hist['max']}"
+                    + (f" ({unit})" if unit else "")
                 )
         for cache_name, stats in snap.get("caches", {}).items():
             lines.append(f"{cache_name} cache:")
@@ -143,6 +151,14 @@ class MetricsRegistry:
             self._counters.clear()
             self._gauges.clear()
             self._hists.clear()
+
+
+def _hist_unit(name: str) -> str:
+    """Histogram display unit, derived from the name's suffix convention."""
+    for suffix, unit in (("_us", "us"), ("_ms", "ms"), ("_bytes", "bytes")):
+        if name.endswith(suffix):
+            return unit
+    return ""
 
 
 def _cache_stats() -> dict:

@@ -240,6 +240,13 @@ class Tracer:
         write_jsonl(spans, path)
         return len(spans)
 
+    def export_collapsed(self, path) -> int:
+        """Write a collapsed-stack flamegraph (``flamegraph.pl`` /
+        speedscope input); returns the number of stack lines."""
+        from .export import write_collapsed
+
+        return write_collapsed(self.spans, path)
+
 
 # ---------------------------------------------------------------------
 # process-wide singleton

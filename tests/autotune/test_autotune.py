@@ -95,3 +95,75 @@ class TestDynamicSelector:
         empty = DynamicSelector(framework=fw_add, arch="maxwell")
         with pytest.raises(RuntimeError):
             empty.select(10)
+
+
+class TestExplainPruning:
+    """The tuner/selector must cite the explain attribution — the same
+    component/counter ranking as ``repro explain --diff`` — when one
+    candidate prunes another."""
+
+    def test_cites_counters_for_the_margin(self, fw_add):
+        from repro.autotune import explain_pruning
+
+        results = tune_all(
+            fw_add, 65_536, "pascal", candidates=["a", "b"],
+            blocks=(64,), grids=(8,),
+        )
+        why = explain_pruning(fw_add, results, 65_536, "pascal")
+        assert {why["winner"], why["runner_up"]} == {
+            results["a"].version_key and fw_add.resolve("a").identifier,
+            fw_add.resolve("b").identifier,
+        }
+        assert why["margin_s"] > 0  # a real pruning margin
+        assert why["cited"], "pruning must cite component attributions"
+        for row in why["cited"]:
+            assert row["delta_s"] != 0
+            assert row["component"] in {
+                r["component"] for r in why["diff"]["ranking"]
+            }
+        # The diff is the timing model's own verdict: the cited deltas
+        # are drawn from a ranking that sums to the model delta.
+        attributed = sum(
+            row["delta_s"] for row in why["diff"]["ranking"]
+        )
+        assert attributed == pytest.approx(
+            why["diff"]["model_delta_s"], rel=1e-9
+        )
+
+    def test_winner_matches_best_tuned_version(self, fw_add):
+        from repro.autotune import explain_pruning
+
+        candidates = ["n", "p"]
+        results = tune_all(
+            fw_add, 4096, "maxwell", candidates=candidates,
+            blocks=(64, 256), grids=(None,),
+        )
+        key, _, _ = best_tuned_version(
+            fw_add, 4096, "maxwell", candidates=candidates,
+            blocks=(64, 256), grids=(None,),
+        )
+        why = explain_pruning(fw_add, results, 4096, "maxwell")
+        assert why["winner"] == fw_add.resolve(key).identifier
+
+    def test_needs_two_candidates(self, fw_add):
+        from repro.autotune import explain_pruning
+
+        results = tune_all(
+            fw_add, 1024, "maxwell", candidates=["p"],
+            blocks=(64,), grids=(None,),
+        )
+        with pytest.raises(ValueError):
+            explain_pruning(fw_add, results, 1024, "maxwell")
+
+    def test_selector_explains_its_bucket(self):
+        from repro import ReductionFramework
+
+        fw = ReductionFramework("add")
+        selector = DynamicSelector.build(
+            fw, "maxwell", sizes=(4096,), candidates=["n", "p"],
+            blocks=(64, 256), grids=(None,),
+        )
+        why = selector.explain(4096, candidates=["n", "p"])
+        entry = selector.select(4096)
+        assert why["winner"] == fw.resolve(entry.version_key).identifier
+        assert why["cited"]

@@ -161,3 +161,33 @@ class TestStatsVerb:
         assert proc.returncode == 0, proc.stderr
         data = json.loads(proc.stdout)
         assert "caches" in data
+
+
+class TestStatsJsonPath:
+    """``stats --json`` accepts an optional path, like ``sanitize
+    --json`` (both route through the shared ``_write_json`` helper)."""
+
+    def test_stats_json_to_file(self, tmp_path):
+        out = tmp_path / "stats.json"
+        proc = _run(["stats", "--json", str(out)], cwd=tmp_path)
+        assert proc.returncode == 0, proc.stderr
+        assert f"JSON -> {out}" in proc.stdout
+        data = json.loads(out.read_text())
+        assert set(data) >= {"counters", "gauges", "histograms", "caches"}
+
+    def test_stats_json_dash_is_stdout(self, tmp_path):
+        proc = _run(["stats", "--json", "-"], cwd=tmp_path)
+        assert proc.returncode == 0, proc.stderr
+        data = json.loads(proc.stdout)
+        assert "caches" in data
+
+    def test_sanitize_json_still_writes_files(self, tmp_path):
+        out = tmp_path / "san.json"
+        proc = _run(
+            ["sanitize", "--versions", "b", "-n", "4096",
+             "--json", str(out)],
+            cwd=tmp_path,
+        )
+        assert proc.returncode == 0, proc.stderr
+        data = json.loads(out.read_text())
+        assert data, "sanitize JSON payload expected"

@@ -1,0 +1,128 @@
+"""Tests for the collapsed-stack flamegraph exporter.
+
+The collapsed format (``frame;frame;frame <self-us>``) is what
+``flamegraph.pl``, inferno and speedscope consume. Nesting is
+reconstructed from each span's recorded depth, stacks are rooted at the
+thread lane name, parent self-time excludes child time, and the output
+is sorted — so a fixed span list yields byte-identical lines (golden
+tests below).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.obs import Tracer, collapsed_stacks, write_collapsed
+from repro.obs.export import WORKER_TID_BASE
+from repro.obs.tracer import Span
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+US = 1e-6
+
+
+def _span(name, ts_us, dur_us, tid=0, depth=0):
+    return Span(name, ts=ts_us * US, dur=dur_us * US, tid=tid, depth=depth)
+
+
+class TestCollapsedStacks:
+    def test_golden_nested_stack(self):
+        spans = [
+            _span("sweep", 0, 100, depth=0),
+            _span("exec.launch", 10, 30, depth=1),
+            _span("native.call", 12, 5, depth=2),
+            _span("exec.launch", 50, 20, depth=1),
+        ]
+        assert collapsed_stacks(spans) == [
+            "main;sweep 50",
+            "main;sweep;exec.launch 45",
+            "main;sweep;exec.launch;native.call 5",
+        ]
+
+    def test_parent_self_time_excludes_children(self):
+        spans = [
+            _span("outer", 0, 10, depth=0),
+            _span("inner", 1, 10, depth=1),
+        ]
+        # The parent's entire duration is accounted to the child, so
+        # only the leaf line survives (no negative or zero lines).
+        assert collapsed_stacks(spans) == ["main;outer;inner 10"]
+
+    def test_worker_tids_root_their_own_lanes(self):
+        spans = [
+            _span("sweep.point", 0, 7, tid=WORKER_TID_BASE, depth=0),
+            _span("sweep.point", 0, 9, tid=WORKER_TID_BASE + 3, depth=0),
+            _span("build", 0, 4, tid=0, depth=0),
+        ]
+        assert collapsed_stacks(spans) == [
+            "main;build 4",
+            "worker-0;sweep.point 7",
+            "worker-3;sweep.point 9",
+        ]
+
+    def test_sibling_after_deep_child_pops_the_stack(self):
+        # A depth-1 span arriving after a depth-2 span must not inherit
+        # the depth-2 frame as a parent.
+        spans = [
+            _span("a", 0, 100, depth=0),
+            _span("b", 1, 10, depth=1),
+            _span("c", 2, 5, depth=2),
+            _span("d", 20, 10, depth=1),
+        ]
+        lines = collapsed_stacks(spans)
+        assert "main;a;d 10" in lines
+        assert not any(";c;d" in line for line in lines)
+
+    def test_empty_and_subunit_spans(self):
+        assert collapsed_stacks([]) == []
+        # A span under half a microsecond rounds to zero and is elided.
+        assert collapsed_stacks([_span("tiny", 0, 0.2)]) == []
+
+    def test_deterministic_for_fixed_spans(self):
+        spans = [
+            _span("sweep", 0, 100, depth=0),
+            _span("exec.launch", 10, 30, depth=1),
+        ]
+        assert collapsed_stacks(spans) == collapsed_stacks(list(spans))
+
+    def test_write_collapsed_roundtrip(self, tmp_path):
+        spans = [_span("sweep", 0, 100, depth=0)]
+        path = tmp_path / "flame.txt"
+        count = write_collapsed(spans, path)
+        lines = path.read_text().splitlines()
+        assert count == len(lines) == 1
+        assert lines == ["main;sweep 100"]
+
+
+class TestTracerExport:
+    def test_export_collapsed_from_live_tracer(self, tmp_path):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                sum(range(20000))
+        path = tmp_path / "flame.txt"
+        count = tracer.export_collapsed(path)
+        text = path.read_text()
+        assert count == len(text.splitlines())
+        assert "main;outer;inner " in text
+
+
+class TestCliFlame:
+    def test_trace_flame_writes_collapsed_file(self, tmp_path):
+        out = tmp_path / "trace.json"
+        flame = tmp_path / "flame.txt"
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "trace",
+             "--out", str(out), "--flame", str(flame),
+             "time", "4096", "--versions", "b"],
+            capture_output=True, text=True, cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"),
+                 "PATH": "/usr/bin:/bin"},
+        )
+        assert result.returncode == 0, result.stderr
+        assert out.exists()
+        lines = flame.read_text().splitlines()
+        assert lines, "flamegraph output must not be empty"
+        assert all(line.rsplit(" ", 1)[1].isdigit() for line in lines)
+        assert lines == sorted(lines)
+        assert any(line.startswith("main;") for line in lines)

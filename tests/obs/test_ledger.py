@@ -1,0 +1,250 @@
+"""Tests for the append-only bench ledger (:mod:`repro.obs.ledger`).
+
+Covers entry construction, the append/read round-trip (including
+malformed and wrong-schema lines), per-metric regression detection for
+all three metric kinds, the report renderer, and the ``repro bench
+report`` CLI exit codes (nonzero on an injected regression fixture).
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs import ledger
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _bench(vector=4.0, native=2.0, chains=2, regions=18, noop_ns=450.0):
+    """A minimal bench payload shaped like bench_simperf's snapshot."""
+    return {
+        "profile_large": {"speedup": 14.0},
+        "compiled_executor": {"speedup_vs_interpreted": 4.5},
+        "vector_backend": {
+            "speedup_vs_compiled": vector,
+            "fusion": {"fused_regions": 22, "megafused_loops": 1},
+        },
+        "native_backend": {
+            "speedup_vs_vector": native,
+            "lowering": {
+                "native_regions": regions,
+                "native_loops": 1,
+                "native_chains": chains,
+            },
+        },
+        "observability": {"noop_span_ns": noop_ns},
+    }
+
+
+def _entry(**kwargs):
+    return ledger.make_entry(
+        _bench(**kwargs), timestamp="2026-08-09T00:00:00+00:00", sha="deadbeef",
+    )
+
+
+class TestEntries:
+    def test_make_entry_schema_and_metrics(self):
+        entry = _entry()
+        assert entry["schema"] == ledger.LEDGER_SCHEMA_VERSION
+        assert entry["ts"] == "2026-08-09T00:00:00+00:00"
+        assert entry["git_sha"] == "deadbeef"
+        assert entry["python"] == sys.version.split()[0]
+        metrics = entry["metrics"]
+        assert metrics["vector_backend.speedup_vs_compiled"] == 4.0
+        assert metrics["native_backend.lowering.native_chains"] == 2
+        assert entry["bench"]["observability"]["noop_span_ns"] == 450.0
+
+    def test_extract_metrics_skips_missing_not_zeroes(self):
+        bench = _bench()
+        del bench["native_backend"]
+        metrics = ledger.extract_metrics(bench)
+        assert "native_backend.speedup_vs_vector" not in metrics
+        assert "native_backend.lowering.native_chains" not in metrics
+        assert metrics["vector_backend.speedup_vs_compiled"] == 4.0
+
+    def test_extract_metrics_ignores_non_numeric_leaves(self):
+        bench = _bench()
+        bench["vector_backend"]["speedup_vs_compiled"] = "fast"
+        metrics = ledger.extract_metrics(bench)
+        assert "vector_backend.speedup_vs_compiled" not in metrics
+
+    def test_append_read_roundtrip(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        first, second = _entry(), _entry(native=2.5)
+        ledger.append_entry(first, path)
+        ledger.append_entry(second, path)
+        entries = ledger.read_ledger(path)
+        assert entries == [first, second]
+
+    def test_read_skips_malformed_and_foreign_schema_lines(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger.append_entry(_entry(), path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("this is not json\n")
+            handle.write("\n")
+            handle.write(json.dumps({"schema": 999, "metrics": {}}) + "\n")
+            handle.write(json.dumps(["not", "a", "dict"]) + "\n")
+        ledger.append_entry(_entry(native=2.5), path)
+        entries = ledger.read_ledger(path)
+        assert len(entries) == 2
+        assert all(
+            e["schema"] == ledger.LEDGER_SCHEMA_VERSION for e in entries
+        )
+
+    def test_read_missing_file_is_empty(self, tmp_path):
+        assert ledger.read_ledger(tmp_path / "nope.jsonl") == []
+
+
+class TestDetectRegressions:
+    def test_needs_two_entries(self):
+        assert ledger.detect_regressions([_entry()]) == []
+        assert ledger.detect_regressions([]) == []
+
+    def test_clean_run_has_no_regressions(self):
+        assert ledger.detect_regressions([_entry(), _entry()]) == []
+
+    def test_ratio_drop_beyond_tolerance_regresses(self):
+        entries = [_entry(native=2.0), _entry(native=1.0)]
+        regressions = ledger.detect_regressions(entries)
+        keys = {r["metric"] for r in regressions}
+        assert "native_backend.speedup_vs_vector" in keys
+        (row,) = [
+            r for r in regressions
+            if r["metric"] == "native_backend.speedup_vs_vector"
+        ]
+        assert row["kind"] == "higher"
+        assert row["reference"] == 2.0
+        assert "native/vector speedup regressed" in row["message"]
+
+    def test_ratio_drop_within_tolerance_passes(self):
+        # 25% band: 2.0 -> 1.6 is a 20% drop, inside the band.
+        entries = [_entry(native=2.0), _entry(native=1.6)]
+        assert ledger.detect_regressions(entries) == []
+
+    def test_count_drop_always_regresses(self):
+        entries = [_entry(chains=2), _entry(chains=0)]
+        regressions = ledger.detect_regressions(entries)
+        (row,) = [
+            r for r in regressions
+            if r["metric"] == "native_backend.lowering.native_chains"
+        ]
+        assert row["kind"] == "count"
+        assert row["message"] == "native chain count dropped 2->0"
+
+    def test_lower_is_better_metric(self):
+        entries = [_entry(noop_ns=450.0), _entry(noop_ns=450.0 * 11)]
+        regressions = ledger.detect_regressions(entries)
+        keys = {r["metric"] for r in regressions}
+        assert "observability.noop_span_ns" in keys
+        # Within the 9x band nothing fires.
+        entries = [_entry(noop_ns=450.0), _entry(noop_ns=450.0 * 9)]
+        assert ledger.detect_regressions(entries) == []
+
+    def test_reference_is_best_of_window_not_last(self):
+        # The middle run was the best; judging against "last" alone
+        # would miss the regression.
+        entries = [_entry(native=1.0), _entry(native=3.0), _entry(native=2.0)]
+        regressions = ledger.detect_regressions(entries)
+        (row,) = [
+            r for r in regressions
+            if r["metric"] == "native_backend.speedup_vs_vector"
+        ]
+        assert row["reference"] == 3.0
+
+    def test_window_bounds_the_comparison(self):
+        # With window=1 only the immediately preceding entry counts, so
+        # the old best (3.0) is out of scope and nothing regresses.
+        entries = [_entry(native=3.0), _entry(native=2.0), _entry(native=1.9)]
+        assert ledger.detect_regressions(entries, window=1) == []
+        assert ledger.detect_regressions(entries, window=2)
+
+    def test_metric_missing_from_history_is_skipped(self):
+        old = _entry()
+        del old["metrics"]["native_backend.speedup_vs_vector"]
+        entries = [old, _entry(native=0.1)]
+        keys = {r["metric"] for r in ledger.detect_regressions(entries)}
+        assert "native_backend.speedup_vs_vector" not in keys
+
+    def test_metric_missing_from_newest_is_skipped(self):
+        new = _entry()
+        del new["metrics"]["native_backend.speedup_vs_vector"]
+        assert ledger.detect_regressions([_entry(), new]) == []
+
+
+class TestFormatReport:
+    def test_empty_ledger(self):
+        lines = ledger.format_report([], [])
+        assert lines[0].startswith("bench ledger: empty")
+
+    def test_single_entry_has_no_window(self):
+        lines = ledger.format_report([_entry()], [])
+        assert lines[0].startswith("bench ledger: 1 entry,")
+        assert any("nothing to judge against" in line for line in lines)
+
+    def test_clean_report_lists_metrics(self):
+        entries = [_entry(), _entry()]
+        lines = ledger.format_report(entries, [])
+        assert any(
+            "native_backend.speedup_vs_vector = 2" in line for line in lines
+        )
+        assert any("no regressions" in line for line in lines)
+
+    def test_regressed_report_cites_messages(self):
+        entries = [_entry(chains=2), _entry(chains=0)]
+        regressions = ledger.detect_regressions(entries)
+        lines = ledger.format_report(entries, regressions)
+        assert any(line.startswith("REGRESSED") for line in lines)
+        assert any("native chain count dropped 2->0" in line for line in lines)
+
+
+def _run_report(ledger_path, *extra):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "bench", "report",
+         "--ledger", str(ledger_path), *extra],
+        capture_output=True, text=True, cwd=REPO_ROOT,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+
+
+class TestBenchReportCli:
+    def test_exit_nonzero_on_injected_regression(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger.append_entry(_entry(chains=2, native=2.0), path)
+        ledger.append_entry(_entry(chains=0, native=0.5), path)
+        result = _run_report(path)
+        assert result.returncode == 1
+        assert "REGRESSED" in result.stdout
+        assert "native chain count dropped 2->0" in result.stdout
+
+    def test_exit_zero_on_clean_ledger(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger.append_entry(_entry(), path)
+        ledger.append_entry(_entry(native=2.1), path)
+        result = _run_report(path)
+        assert result.returncode == 0
+        assert "no regressions" in result.stdout
+
+    def test_json_payload(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger.append_entry(_entry(), path)
+        ledger.append_entry(_entry(chains=0), path)
+        out = tmp_path / "report.json"
+        result = _run_report(path, "--json", str(out))
+        assert result.returncode == 1
+        payload = json.loads(out.read_text())
+        assert payload["entries"] == 2
+        assert payload["regressions"][0]["kind"] == "count"
+
+
+class TestRepoLedger:
+    def test_repo_ledger_is_seeded(self):
+        """The committed ledger must carry at least one real entry."""
+        path = REPO_ROOT / ledger.DEFAULT_LEDGER_NAME
+        entries = ledger.read_ledger(path)
+        assert entries, f"{path} must hold at least one schema-valid entry"
+        newest = entries[-1]
+        assert newest["metrics"], "seeded entry carries watched metrics"
+        assert newest["bench"], "seeded entry embeds the full bench payload"

@@ -309,3 +309,186 @@ class TestInstrumentationIntegration:
         )
         assert launches_after > launches_before
         assert metrics.counter("sim.threads") > threads_before
+
+
+
+# -- worker-death coverage --------------------------------------------
+#
+# The poisoned pool entry point must be a module-level function:
+# ProcessPoolExecutor pickles the callable by qualified name, and
+# fork-started children resolve it against this (already imported)
+# module, inheriting the monkeypatched globals below.
+
+_DEATH_ORIGINAL_ENTRY = None
+_DEATH_POISON_N = None
+
+
+def _dying_profile_entry(spec):
+    import os as _os
+
+    if spec[4] == _DEATH_POISON_N:  # spec = (op, ctype, unroll, v, n, ...)
+        _os._exit(1)
+    return _DEATH_ORIGINAL_ENTRY(spec)
+
+
+class TestWorkerDeath:
+    """A pool worker dying mid-sweep must never corrupt the trace:
+    spans shipped by workers that *did* complete still merge (each
+    under its own ``worker-<k>`` tid, exactly once), the broken pool
+    attempt leaks no partial merges, and the sweep falls back to
+    threads with correct results."""
+
+    SIZES = [1024, 2048, 4096, 8192]
+
+    def _specs(self):
+        from repro.codegen import Tunables
+
+        return [("b", n, Tunables(block=64, grid=8)) for n in self.SIZES]
+
+    def test_completed_worker_spans_merge_once_with_distinct_tids(self):
+        # Tracer-level contract: workers 0 and 2 completed and shipped
+        # spans; worker 1 died and shipped nothing. The parent merges
+        # the survivors in submission order.
+        shipped = {}
+        for k in (0, 2):
+            worker = Tracer(enabled=True)
+            with worker.capture() as captured:
+                with worker.span("sweep.point", worker=k):
+                    pass
+            shipped[k] = [s.as_dict() for s in captured]
+        parent = Tracer(enabled=True)
+        for k, spans in sorted(shipped.items()):
+            parent.merge(spans, tid=WORKER_TID_BASE + k)
+        merged = parent.spans
+        assert [s.tid for s in merged] == [
+            WORKER_TID_BASE, WORKER_TID_BASE + 2,
+        ]
+        assert len(merged) == 2  # once per surviving worker, no dupes
+        assert WORKER_TID_BASE + 1 not in {s.tid for s in merged}
+
+    def test_pool_worker_death_falls_back_and_keeps_trace_clean(
+        self, monkeypatch
+    ):
+        """Kill one process-pool worker mid-sweep (``os._exit`` skips
+        all cleanup, as a real crash would): map_profiles must fall
+        back to threads, return correct aligned results, and the trace
+        must hold each sweep point exactly once under real thread tids
+        — no partial merges from the broken pool attempt, no duplicate
+        ``worker-<k>`` tids."""
+        import sys
+
+        from repro.perf import ProfileCache, default_cache
+        from repro.perf import parallel as parallel_mod
+        from repro.runtime import ReductionFramework
+
+        serial_fw = ReductionFramework(op="add", cache=ProfileCache())
+        expected = serial_fw.profile_many(self._specs(), max_workers=1)
+
+        this_module = sys.modules[__name__]
+        monkeypatch.setattr(
+            this_module, "_DEATH_ORIGINAL_ENTRY",
+            parallel_mod._profile_spec_traced,
+        )
+        monkeypatch.setattr(this_module, "_DEATH_POISON_N", 2048)
+        monkeypatch.setattr(
+            parallel_mod, "_profile_spec_traced", _dying_profile_entry
+        )
+        # Guarantee the traced run actually profiles (the serial pass
+        # above warmed the in-process default cache the pool's worker
+        # frameworks share).
+        default_cache().clear()
+
+        tracer = get_tracer()
+        was_enabled = tracer.enabled
+        tracer.enabled = True
+        before = len(tracer.spans)
+        try:
+            fw = ReductionFramework(op="add", cache=ProfileCache())
+            results = fw.profile_many(self._specs(), max_workers=2)
+        finally:
+            tracer.enabled = was_enabled
+        new = tracer.spans[before:]
+
+        assert len(results) == len(expected)
+        for (profile, memsets), (ref_profile, ref_memsets) in zip(
+            results, expected
+        ):
+            assert memsets == ref_memsets
+            assert profile.result == ref_profile.result
+            for got_step, ref_step in zip(profile.steps, ref_profile.steps):
+                assert dict(got_step.events) == dict(ref_step.events)
+
+        # The broken pool attempt is all-or-nothing: nothing merged
+        # under worker tids, and the thread fallback recorded each
+        # point exactly once.
+        assert all(s.tid < WORKER_TID_BASE for s in new)
+        points = [s for s in new if s.name == "sweep.point"]
+        assert sorted(s.args["n"] for s in points) == self.SIZES
+
+    def test_healthy_pool_merges_each_point_once(self):
+        """Control run: with no deaths the process pool merges shipped
+        worker spans under synthetic tids, one sweep.point per spec,
+        every tid inside [WORKER_TID_BASE, WORKER_TID_BASE + w)."""
+        from repro.perf import ProfileCache, default_cache
+        from repro.runtime import ReductionFramework
+
+        default_cache().clear()
+        tracer = get_tracer()
+        was_enabled = tracer.enabled
+        tracer.enabled = True
+        before = len(tracer.spans)
+        try:
+            fw = ReductionFramework(op="add", cache=ProfileCache())
+            fw.profile_many(self._specs(), max_workers=2)
+        finally:
+            tracer.enabled = was_enabled
+        new = tracer.spans[before:]
+        points = [s for s in new if s.name == "sweep.point"]
+        assert sorted(s.args["n"] for s in points) == self.SIZES
+        worker_tids = {s.tid for s in points if s.tid >= WORKER_TID_BASE}
+        if worker_tids:  # the pool ran as processes, not a fallback
+            assert worker_tids <= {WORKER_TID_BASE, WORKER_TID_BASE + 1}
+
+
+class TestHistogramUnits:
+    """Satellite: log2 buckets collapse sub-unit values into bucket 0,
+    so timing call sites record microseconds (``_us`` suffix) and
+    ``summary_lines`` labels the unit."""
+
+    def test_hist_unit_suffix_convention(self):
+        from repro.obs.metrics import _hist_unit
+
+        assert _hist_unit("native.compile_us") == "us"
+        assert _hist_unit("span.noop_ms") == "ms"
+        assert _hist_unit("payload_bytes") == "bytes"
+        assert _hist_unit("pool.fanout") == ""
+
+    def test_summary_lines_label_units(self):
+        m = MetricsRegistry()
+        m.observe("native.compile_us", 1234.5)
+        m.observe("pool.fanout", 6)
+        lines = m.summary_lines(include_caches=False)
+        us_line = next(l for l in lines if "native.compile_us" in l)
+        assert us_line.endswith("(us)")
+        fanout_line = next(l for l in lines if "pool.fanout" in l)
+        assert not fanout_line.endswith(")")
+
+    def test_microsecond_scale_keeps_bucket_resolution(self):
+        # In seconds, 3us and 800us collapse into log2 bucket 0; in
+        # microseconds they land in distinguishable buckets.
+        m = MetricsRegistry()
+        m.observe("t_us", 3.0)
+        m.observe("t_us", 800.0)
+        hist = m.snapshot(include_caches=False)["histograms"]["t_us"]
+        assert len(hist["buckets"]) == 2  # distinct buckets survived
+
+    def test_native_compile_sites_record_microseconds(self):
+        # The only time-valued observe() in the native path uses the
+        # _us suffix (sub-unit resolution, labelled summary).
+        import inspect
+
+        from repro.gpusim.native import lower
+
+        source = inspect.getsource(lower)
+        assert '"native.compile_us"' in source
+        assert '"native.compile_s"' not in source
