@@ -335,6 +335,62 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """In-process serving demo: server + load generator + backpressure
+    probe, with machine-checkable JSON for CI."""
+    from .serve import LoadGenerator, ReductionServer, ServerConfig
+    from .serve import prove_backpressure
+
+    config = ServerConfig(
+        window_s=args.window_ms / 1e3,
+        max_batch_requests=args.max_batch,
+        tenant_quota=args.quota,
+        engine=args.engine or "auto",
+    )
+    server = ReductionServer(config)
+    generator = LoadGenerator(server, seed=args.seed)
+    try:
+        report = generator.run(
+            num_requests=args.requests,
+            concurrency=args.concurrency,
+            min_size=args.min_size,
+            max_size=args.max_size,
+            verify=not args.no_verify,
+        )
+    finally:
+        server.close()
+    backpressure = prove_backpressure(engine=args.engine or "auto")
+    payload = report.as_dict()
+    payload["backpressure"] = backpressure
+
+    stats = payload["server"]
+    print(f"[serve] {report.requests_sent} requests from "
+          f"{args.concurrency} threads ({payload['wall_s']:.3f}s wall)")
+    print(f"[serve] responses={report.responses} "
+          f"fused={report.fused_responses} launches={report.launches} "
+          f"fusion_ratio={payload['fusion_ratio']}")
+    print(f"[serve] latency p50={payload['latency_p50_ms']}ms "
+          f"p95={payload['latency_p95_ms']}ms "
+          f"max={payload['latency_max_ms']}ms")
+    print(f"[serve] batches={stats['batches']} "
+          f"(fused={stats['fused_batches']}) fallbacks={stats['fallbacks']} "
+          f"rejected={sum(v for k, v in stats.items() if k.startswith('rejected_'))}")
+    print(f"[serve] verify: mismatches={report.mismatches} "
+          f"(bit-exact vs sequential per-request runs)")
+    print(f"[serve] backpressure probe: "
+          f"{backpressure['quota_rejections']}/{backpressure['submitted']} "
+          f"rejected with QuotaExceeded")
+    if args.json is not False:
+        _write_json(payload, args.json, "serve")
+
+    failed = report.mismatches or not backpressure["typed_backpressure"]
+    if report.responses and report.launches >= report.responses:
+        print("[serve] WARNING: no launch fusion observed "
+              f"(launches={report.launches} >= responses={report.responses})")
+        failed = True
+    return 1 if failed else 0
+
+
 def cmd_explain(args) -> int:
     from .obs.explain import (
         explain_diff,
@@ -514,6 +570,47 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit the full snapshot as JSON, to PATH or "
                         "stdout when no path is given")
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "serve",
+        help="reduction-as-a-service demo: fused serving under load",
+        description=(
+            "Start an in-process ReductionServer, drive it with the "
+            "load generator (concurrent mixed-size requests across "
+            "several sessions and tenants), verify every response "
+            "bit-for-bit against sequential per-request execution, "
+            "and run the typed-backpressure probe. Exits non-zero on "
+            "any mismatch, missing backpressure, or absent fusion."
+        ),
+    )
+    p.add_argument("--requests", type=int, default=64,
+                   help="requests to issue (default: 64)")
+    p.add_argument("--concurrency", type=int, default=16,
+                   help="submitting threads (default: 16)")
+    p.add_argument("--window-ms", type=float, default=20.0,
+                   dest="window_ms",
+                   help="fusion window in milliseconds (default: 20)")
+    p.add_argument("--quota", type=int, default=64,
+                   help="per-tenant in-flight quota (default: 64)")
+    p.add_argument("--max-batch", type=int, default=64, dest="max_batch",
+                   help="max requests fused into one launch (default: 64)")
+    p.add_argument("--min-size", type=int, default=0, dest="min_size",
+                   help="smallest request, elements (default: 0)")
+    p.add_argument("--max-size", type=int, default=4096, dest="max_size",
+                   help="largest request, elements (default: 4096)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="payload RNG seed (default: 0)")
+    p.add_argument("--engine", default="auto", type=_engine_spec,
+                   help="engine spec for every session (see "
+                        "'reduce --engine')")
+    p.add_argument("--no-verify", action="store_true", dest="no_verify",
+                   help="skip the bit-exactness check against "
+                        "sequential execution")
+    p.add_argument("--json", nargs="?", const="-", default=False,
+                   metavar="PATH",
+                   help="emit the full report as JSON, to PATH or "
+                        "stdout when no path is given")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "explain",

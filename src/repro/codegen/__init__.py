@@ -2,6 +2,14 @@
 
 from .compiler import CodeletToVIR, GlobalView, RegisterPartials
 from .cuda import CudaEmitter, emit_compound_pair, emit_coop_kernel, emit_version
+from .segmented import (
+    SegmentLayout,
+    build_segmented_plan,
+    build_segmented_plan_cached,
+    execute_segmented_plan,
+    segment_layout,
+    segmented_plan_key,
+)
 from .synthesize import (
     Tunables,
     build_plan,
@@ -15,12 +23,18 @@ __all__ = [
     "CudaEmitter",
     "GlobalView",
     "RegisterPartials",
+    "SegmentLayout",
     "Tunables",
     "build_plan",
     "build_plan_cached",
+    "build_segmented_plan",
+    "build_segmented_plan_cached",
     "emit_compound_pair",
     "emit_coop_kernel",
     "emit_version",
+    "execute_segmented_plan",
     "launch_geometry",
     "plan_key",
+    "segment_layout",
+    "segmented_plan_key",
 ]

@@ -153,6 +153,7 @@ _BINOP_IMPL = {
     "sub": _arith(operator.sub),
     "mul": _arith(operator.mul),
     "div": _arith(_div),
+    "idiv": _arith(np.floor_divide),
     "mod": _arith(operator.mod),
     "min": _arith(np.minimum),
     "max": _arith(np.maximum),

@@ -115,6 +115,8 @@ def _np_binop(op, a, b):
         if _is_integer(a) and _is_integer(b):
             return _int_div(a, b)
         return a / b
+    if op == "idiv":
+        return np.floor_divide(a, b)
     if op == "mod":
         return a % b
     if op == "min":
@@ -513,9 +515,13 @@ class Executor:
             span.set(events={k: int(v) for k, v in profile.events.items()})
             if fragprof is not None and fragprof.totals:
                 span.set(**fragprof.span_args())
+        # One grouped update: a snapshot must never observe the launch
+        # counter without the launch's event totals (or vice versa).
         metrics = default_metrics()
-        metrics.inc(f"exec.launch.{mode}")
-        metrics.inc_many(profile.events, prefix="sim.")
+        counters = {f"sim.{key}": int(value)
+                    for key, value in profile.events.items()}
+        counters[f"exec.launch.{mode}"] = 1
+        metrics.record(counters=counters)
         return profile
 
     @staticmethod

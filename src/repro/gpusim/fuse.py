@@ -201,6 +201,7 @@ _INFIX = {
 #: op -> helper-function symbol in the generated namespace.
 _FUNC = {
     "div": "_div",
+    "idiv": "_floor_div",
     "min": "_minimum",
     "max": "_maximum",
     "land": "_logical_and",
@@ -417,6 +418,7 @@ _BASE_NAMESPACE = {
     "_0d": np.asarray,
     "_cb": _coerce_bool,
     "_div": _div,
+    "_floor_div": np.floor_divide,
     "_minimum": np.minimum,
     "_maximum": np.maximum,
     "_logical_and": np.logical_and,

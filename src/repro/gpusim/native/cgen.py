@@ -280,6 +280,10 @@ def binop_expr(op, a: Val, b: Val):
         if jt == "i":
             return f"i64_fdiv({ea}, {eb})", "i"
         return f"(({ea}) / ({eb}))", "f"
+    if op == "idiv":
+        if jt == "i":
+            return f"i64_fdiv({ea}, {eb})", "i"
+        return f"floor(({ea}) / ({eb}))", "f"
     if op == "mod":
         if jt == "i":
             return f"i64_fmod({ea}, {eb})", "i"
@@ -358,6 +362,8 @@ def _fold_binop(op, a, b):
     a, b = _cbv(a), _cbv(b)
     if op == "div":
         return _div(a, b)
+    if op == "idiv":
+        return np.floor_divide(a, b)
     if op == "min":
         return np.minimum(a, b)
     if op == "max":

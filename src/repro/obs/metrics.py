@@ -63,6 +63,27 @@ class MetricsRegistry:
         with self._lock:
             self._gauges[name] = value
 
+    def record(self, counters=None, gauges=None, observations=None) -> None:
+        """Apply a group of updates under ONE lock acquisition.
+
+        Concurrent launch paths (the executor, the serve scheduler)
+        publish several logically-coupled metrics per event — a launch
+        counter plus its event totals, a batch counter plus its latency
+        sample.  Separate ``inc``/``observe`` calls leave a window where
+        a concurrent ``snapshot`` sees one update without the other
+        (a torn read); grouping them keeps every snapshot consistent.
+        """
+        with self._lock:
+            if counters:
+                table = self._counters
+                for name, value in counters.items():
+                    table[name] = table.get(name, 0) + int(value)
+            if gauges:
+                self._gauges.update(gauges)
+            if observations:
+                for name, value in observations.items():
+                    self._observe_locked(name, value)
+
     def observe(self, name: str, value) -> None:
         """Record one histogram sample (count/total/min/max + log2 buckets).
 
@@ -72,19 +93,22 @@ class MetricsRegistry:
         :meth:`summary_lines` labels the unit), never in raw seconds.
         """
         with self._lock:
-            hist = self._hists.get(name)
-            if hist is None:
-                hist = self._hists[name] = {
-                    "count": 0, "total": 0.0,
-                    "min": float("inf"), "max": float("-inf"),
-                    "buckets": {},
-                }
-            hist["count"] += 1
-            hist["total"] += value
-            hist["min"] = min(hist["min"], value)
-            hist["max"] = max(hist["max"], value)
-            bucket = _bucket(value)
-            hist["buckets"][bucket] = hist["buckets"].get(bucket, 0) + 1
+            self._observe_locked(name, value)
+
+    def _observe_locked(self, name: str, value) -> None:
+        hist = self._hists.get(name)
+        if hist is None:
+            hist = self._hists[name] = {
+                "count": 0, "total": 0.0,
+                "min": float("inf"), "max": float("-inf"),
+                "buckets": {},
+            }
+        hist["count"] += 1
+        hist["total"] += value
+        hist["min"] = min(hist["min"], value)
+        hist["max"] = max(hist["max"], value)
+        bucket = _bucket(value)
+        hist["buckets"][bucket] = hist["buckets"].get(bucket, 0) + 1
 
     # -- reads ---------------------------------------------------------
 

@@ -155,7 +155,7 @@ class Tracer:
         self._lock = threading.Lock()
         self._spans = []
         self._local = threading.local()
-        self._tids = {}
+        self._next_tid = 0
 
     # -- recording -----------------------------------------------------
 
@@ -175,12 +175,19 @@ class Tracer:
         self._record(span)
 
     def _tid(self) -> int:
-        ident = threading.get_ident()
-        with self._lock:
-            tid = self._tids.get(ident)
-            if tid is None:
-                tid = self._tids[ident] = len(self._tids)
-            return tid
+        # Stored on the thread-local, not keyed by threading.get_ident():
+        # the OS recycles idents after a thread exits, so an ident-keyed
+        # table hands a dead thread's tid to an unrelated new thread and
+        # their spans interleave on one trace row. A thread-local id
+        # assigned from a monotonic counter is unique for the lifetime
+        # of the trace.
+        tid = getattr(self._local, "tid", None)
+        if tid is None:
+            with self._lock:
+                tid = self._next_tid
+                self._next_tid += 1
+            self._local.tid = tid
+        return tid
 
     def _record(self, span: Span) -> None:
         with self._lock:

@@ -110,7 +110,24 @@ class ProfileCache:
                 self.stats.hits += 1
                 self.stats.time_saved_s += entry.cost_s
                 return entry.value
-            entry = self._disk_load(key)
+            if not self.disk_dir:
+                self.stats.misses += 1
+                return None
+        # Disk probe outside the lock: unpickling an entry must not
+        # stall every other thread's memory-tier hit behind file I/O
+        # (the serve scheduler hits this path from several worker
+        # threads at once).
+        entry = self._disk_load(key)
+        with self._lock:
+            current = self._mem.get(key)
+            if current is not None:
+                # A concurrent put/get landed while we probed the disk;
+                # its in-process object wins (callers may rely on
+                # sharing the id-keyed memos hanging off it).
+                self._mem.move_to_end(key)
+                self.stats.hits += 1
+                self.stats.time_saved_s += current.cost_s
+                return current.value
             if entry is not None:
                 self._insert(key, entry)
                 self.stats.hits += 1
@@ -121,12 +138,16 @@ class ProfileCache:
             return None
 
     def put(self, key: str, value, cost_s: float = 0.0) -> None:
+        entry = _Entry(value=value, cost_s=cost_s)
         with self._lock:
-            entry = _Entry(value=value, cost_s=cost_s)
             self._insert(key, entry)
             self.stats.stores += 1
             self.stats.compute_time_s += cost_s
-            self._disk_store(key, entry)
+        # Pickle + write happen after the lock is released; the disk
+        # tier is content-addressed so concurrent writers of one key
+        # race benignly (os.replace is atomic, last writer wins with
+        # identical content).
+        self._disk_store(key, entry)
 
     def get_or_compute(self, key: str, compute):
         """Return the cached value, or compute, record its cost, store."""
@@ -142,7 +163,8 @@ class ProfileCache:
         with self._lock:
             if key in self._mem:
                 return True
-            return self._disk_path(key).is_file() if self.disk_dir else False
+        # stat() outside the lock, same rationale as get().
+        return self._disk_path(key).is_file() if self.disk_dir else False
 
     def __len__(self) -> int:
         with self._lock:
@@ -152,12 +174,12 @@ class ProfileCache:
         with self._lock:
             if memory:
                 self._mem.clear()
-            if disk and self.disk_dir:
-                for path in self.disk_dir.glob(f"*{_DISK_SUFFIX}"):
-                    try:
-                        path.unlink()
-                    except OSError:
-                        pass
+        if disk and self.disk_dir:
+            for path in self.disk_dir.glob(f"*{_DISK_SUFFIX}"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
 
     # -- introspection -------------------------------------------------
 
@@ -165,11 +187,20 @@ class ProfileCache:
         """Entry count and total bytes of the disk tier (zeros if off)."""
         if not self.disk_dir or not self.disk_dir.is_dir():
             return {"dir": str(self.disk_dir or ""), "entries": 0, "bytes": 0}
-        files = list(self.disk_dir.glob(f"*{_DISK_SUFFIX}"))
+        entries = 0
+        total_bytes = 0
+        for path in self.disk_dir.glob(f"*{_DISK_SUFFIX}"):
+            try:
+                # stat() individually: a concurrent clear(disk=True) or
+                # corrupt-entry unlink may remove files mid-walk.
+                total_bytes += path.stat().st_size
+            except OSError:
+                continue
+            entries += 1
         return {
             "dir": str(self.disk_dir),
-            "entries": len(files),
-            "bytes": sum(f.stat().st_size for f in files),
+            "entries": entries,
+            "bytes": total_bytes,
         }
 
     # -- internals -----------------------------------------------------

@@ -58,14 +58,25 @@ _PROFILE_SAMPLE = 3
 # The DSL frontend (program load + preprocessing passes) is pure per
 # (op, ctype, unroll) configuration, so its results are shared across
 # every ReductionFramework instance in the process — including the
-# profile_many worker threads, which each construct a framework.
+# profile_many worker threads and the serve scheduler threads, which
+# each construct a framework. Builds are serialized *per key*: holding
+# one global lock across the (expensive) load would convoy a server's
+# unrelated sessions — e.g. an (add, float) request stalled behind a
+# (max, int) frontend build — so the global lock only guards the two
+# dicts and a short per-key lock guards each build.
 _frontend_lock = threading.Lock()
 _FRONTEND_MEMO = {}
+_FRONTEND_BUILDING = {}
 
 
 def _frontend(op: str, ctype: str, unroll: bool):
     key = (op, ctype, unroll)
+    entry = _FRONTEND_MEMO.get(key)  # lock-free fast path (GIL-atomic read)
+    if entry is not None:
+        return entry
     with _frontend_lock:
+        build_lock = _FRONTEND_BUILDING.setdefault(key, threading.Lock())
+    with build_lock:
         entry = _FRONTEND_MEMO.get(key)
         if entry is None:
             with get_tracer().span(
@@ -89,7 +100,19 @@ class ReduceResult:
 
 
 class ReductionFramework:
-    """DSL → AST passes → version synthesis → simulation/timing."""
+    """DSL → AST passes → version synthesis → simulation/timing.
+
+    **Thread safety**: one instance may serve concurrent :meth:`run` /
+    :meth:`profile` calls (the serve worker threads do exactly that).
+    This holds because every per-call mutable object — the
+    :class:`Executor`, its :class:`Device`, the profile being built —
+    is constructed inside the call, while all shared state is reached
+    only through thread-safe components: the frontend memo above, the
+    process-wide plan/profile caches, and the id-keyed kernel memos
+    (plain dict reads/writes of immutable values, atomic under the
+    GIL; a lost race costs a duplicate build, never a wrong result).
+    Instance attributes are never written after ``__init__``.
+    """
 
     def __init__(
         self,

@@ -1,0 +1,43 @@
+"""Reduction-as-a-service: long-lived serving with launch fusion.
+
+The serving runtime turns the batch-oriented framework into an online
+system: concurrent small reduction requests are admitted under
+per-tenant quotas and bounded queues, batched within a fusion window,
+and executed as heterogeneous segments of ONE segmented-reduction
+launch (:mod:`repro.codegen.segmented`) — bit-identical to sequential
+per-request execution, with strictly fewer launches.
+
+See ``docs/SERVING.md`` for architecture and semantics.
+"""
+
+from .client import DEFAULT_MIX, LoadGenerator, LoadReport, prove_backpressure
+from .errors import (
+    DeadlineExceeded,
+    QueueFull,
+    QuotaExceeded,
+    RequestInvalid,
+    ServeError,
+    ServerClosed,
+)
+from .request import ReduceRequest, ReduceResponse, SessionKey
+from .scheduler import SessionScheduler
+from .server import ReductionServer, ServerConfig
+
+__all__ = [
+    "DEFAULT_MIX",
+    "DeadlineExceeded",
+    "LoadGenerator",
+    "LoadReport",
+    "QueueFull",
+    "QuotaExceeded",
+    "ReduceRequest",
+    "ReduceResponse",
+    "ReductionServer",
+    "RequestInvalid",
+    "ServeError",
+    "ServerClosed",
+    "ServerConfig",
+    "SessionKey",
+    "SessionScheduler",
+    "prove_backpressure",
+]

@@ -1,0 +1,210 @@
+"""Load generator: concurrent mixed-size traffic against a server.
+
+This is both the serve smoke-test driver (CI) and a measurement tool:
+it fires heterogeneous requests from a thread pool, verifies every
+response bit-for-bit against offline sequential execution, and reports
+latencies plus the server's fusion counters.
+
+Payloads are pre-generated from a seeded RNG in the submitting thread,
+so a given (seed, mix, sizes) configuration always produces the same
+requests — only the interleaving varies with scheduling.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.sources import identity_value
+from ..runtime.session import ReductionFramework
+from .errors import QueueFull, QuotaExceeded, ServeError
+from .server import ReductionServer, ServerConfig
+
+#: Default (op, ctype, version) mix exercised by the generator; includes
+#: coop/compound and atomic/partials version shapes.
+DEFAULT_MIX = (
+    ("add", "float", "p"),
+    ("add", "float", "a"),
+    ("add", "int", "m"),
+    ("max", "float", "b"),
+    ("min", "int", "n"),
+)
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load-generation run."""
+
+    requests_sent: int = 0
+    responses: int = 0
+    fused_responses: int = 0
+    mismatches: int = 0
+    rejected: dict = field(default_factory=dict)
+    latencies_s: list = field(default_factory=list)
+    wall_s: float = 0.0
+    server_stats: dict = field(default_factory=dict)
+
+    @property
+    def launches(self) -> int:
+        return self.server_stats.get("launches", 0)
+
+    @property
+    def fusion_ratio(self) -> float:
+        return self.server_stats.get("fusion_ratio", 0.0)
+
+    def percentile(self, q: float) -> float:
+        if not self.latencies_s:
+            return 0.0
+        return float(np.percentile(np.array(self.latencies_s), q))
+
+    def as_dict(self) -> dict:
+        return {
+            "requests_sent": self.requests_sent,
+            "responses": self.responses,
+            "fused_responses": self.fused_responses,
+            "mismatches": self.mismatches,
+            "rejected": dict(self.rejected),
+            "wall_s": round(self.wall_s, 6),
+            "latency_p50_ms": round(self.percentile(50) * 1e3, 3),
+            "latency_p95_ms": round(self.percentile(95) * 1e3, 3),
+            "latency_max_ms": round(self.percentile(100) * 1e3, 3),
+            "launches": self.launches,
+            "fusion_ratio": round(self.fusion_ratio, 4),
+            "server": self.server_stats,
+        }
+
+
+class LoadGenerator:
+    """Drives one server with concurrent heterogeneous requests."""
+
+    def __init__(
+        self,
+        server: ReductionServer,
+        seed: int = 0,
+        tenants=("tenant-a", "tenant-b", "tenant-c"),
+        mix=DEFAULT_MIX,
+    ):
+        self.server = server
+        self.seed = seed
+        self.tenants = tuple(tenants)
+        self.mix = tuple(mix)
+        self._reference_fws = {}
+
+    # -- reference (offline, sequential) -------------------------------
+
+    def _reference_value(self, op, ctype, version, data) -> float:
+        """Sequential per-request execution — the bit-exactness oracle."""
+        fw = self._reference_fws.get((op, ctype))
+        if fw is None:
+            fw = self._reference_fws[(op, ctype)] = ReductionFramework(
+                op=op, ctype=ctype, engine=self.server.config.engine
+            )
+        if len(data) == 0:
+            return float(np.array(identity_value(op, ctype), dtype=fw.dtype))
+        return fw.run(data, version=version).value
+
+    # -- load ----------------------------------------------------------
+
+    def build_payloads(self, num_requests, min_size=0, max_size=4096):
+        """Deterministic request list: (tenant, op, ctype, version, data)."""
+        rng = np.random.default_rng(self.seed)
+        payloads = []
+        for index in range(num_requests):
+            op, ctype, version = self.mix[index % len(self.mix)]
+            tenant = self.tenants[index % len(self.tenants)]
+            n = int(rng.integers(min_size, max_size + 1))
+            if ctype == "int":
+                data = rng.integers(-1000, 1000, size=n).astype(np.int32)
+            else:
+                data = rng.standard_normal(n).astype(np.float32)
+            payloads.append((tenant, op, ctype, version, data))
+        return payloads
+
+    def run(
+        self,
+        num_requests: int = 64,
+        concurrency: int = 16,
+        min_size: int = 0,
+        max_size: int = 4096,
+        verify: bool = True,
+        deadline_s: float = None,
+    ) -> LoadReport:
+        """Submit ``num_requests`` from ``concurrency`` threads; verify
+        each response against offline sequential execution."""
+        payloads = self.build_payloads(num_requests, min_size, max_size)
+        report = LoadReport()
+        start = time.perf_counter()
+
+        def issue(payload):
+            tenant, op, ctype, version, data = payload
+            try:
+                future = self.server.submit(
+                    data, op=op, ctype=ctype, version=version,
+                    tenant=tenant, deadline_s=deadline_s,
+                )
+                return payload, future.result(timeout=120.0), None
+            except ServeError as exc:
+                return payload, None, exc
+
+        with ThreadPoolExecutor(max_workers=concurrency) as pool:
+            outcomes = list(pool.map(issue, payloads))
+
+        report.requests_sent = len(payloads)
+        for payload, response, error in outcomes:
+            if error is not None:
+                name = type(error).__name__
+                report.rejected[name] = report.rejected.get(name, 0) + 1
+                continue
+            report.responses += 1
+            report.fused_responses += int(response.fused)
+            report.latencies_s.append(response.latency_s)
+            if verify:
+                tenant, op, ctype, version, data = payload
+                expected = self._reference_value(op, ctype, version, data)
+                if response.value != expected:
+                    report.mismatches += 1
+        report.wall_s = time.perf_counter() - start
+        report.server_stats = self.server.stats()
+        return report
+
+
+def prove_backpressure(engine: str = "auto") -> dict:
+    """Demonstrate typed quota rejection: a dedicated tiny server with a
+    long fusion window and a quota of 2 receives 6 rapid submissions
+    from one tenant — the window keeps the first requests in flight, so
+    the rest MUST be rejected with :class:`QuotaExceeded` (never queued).
+    """
+    config = ServerConfig(
+        window_s=0.25, tenant_quota=2, max_queue_depth=4, engine=engine
+    )
+    submitted, quota_rejections, queue_rejections = 0, 0, 0
+    futures = []
+    with ReductionServer(config) as server:
+        data = np.arange(64, dtype=np.float32)
+        for _ in range(6):
+            submitted += 1
+            try:
+                futures.append(server.submit(data, tenant="greedy"))
+            except QuotaExceeded:
+                quota_rejections += 1
+            except QueueFull:
+                queue_rejections += 1
+        values = [f.result(timeout=60.0).value for f in futures]
+    return {
+        "submitted": submitted,
+        "quota_rejections": quota_rejections,
+        "queue_rejections": queue_rejections,
+        "served": len(values),
+        "typed_backpressure": quota_rejections >= 1,
+    }
+
+
+__all__ = [
+    "DEFAULT_MIX",
+    "LoadGenerator",
+    "LoadReport",
+    "prove_backpressure",
+]

@@ -1,0 +1,63 @@
+"""Typed rejection errors of the serving runtime.
+
+Every way the server refuses work has its own exception class so
+clients (and tests, and the load generator) can react per cause —
+retry-with-backoff on :class:`QueueFull`, shed load on
+:class:`QuotaExceeded`, give up on :class:`DeadlineExceeded`.  All of
+them derive from :class:`ServeError`; none of them is ever used for a
+*successful* degraded path (fused → unfused fallback is silent except
+for its metrics).
+"""
+
+from __future__ import annotations
+
+
+class ServeError(Exception):
+    """Base class of every serving-layer rejection."""
+
+
+class RequestInvalid(ServeError):
+    """The request itself is malformed (unknown op/ctype/version, bad
+    data shape) — retrying it unchanged can never succeed."""
+
+
+class QuotaExceeded(ServeError):
+    """The tenant already has its full quota of requests in flight.
+
+    Raised synchronously at submission — the request is *rejected*, not
+    queued, so one tenant cannot grow the queue without bound."""
+
+    def __init__(self, tenant: str, quota: int):
+        super().__init__(
+            f"tenant {tenant!r} is at its in-flight quota ({quota})"
+        )
+        self.tenant = tenant
+        self.quota = quota
+
+
+class QueueFull(ServeError):
+    """The session's bounded intake queue is full (backpressure).
+
+    Distinct from :class:`QuotaExceeded`: this is global pressure on
+    one (op, ctype, version) session, not one tenant's overuse."""
+
+    def __init__(self, session: str, depth: int):
+        super().__init__(
+            f"session {session!r} queue is full ({depth} waiting)"
+        )
+        self.session = session
+        self.depth = depth
+
+
+class DeadlineExceeded(ServeError):
+    """The request's deadline passed before its batch executed."""
+
+    def __init__(self, waited_s: float):
+        super().__init__(
+            f"request deadline exceeded after {waited_s * 1e3:.2f} ms in queue"
+        )
+        self.waited_s = waited_s
+
+
+class ServerClosed(ServeError):
+    """The server is shut (or shutting) down and takes no new work."""

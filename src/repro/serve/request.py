@@ -1,0 +1,67 @@
+"""Request/response records exchanged with :class:`ReductionServer`."""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SessionKey:
+    """What multi-tenant sessions are keyed by: one key, one scheduler,
+    one fused plan family."""
+
+    op: str
+    ctype: str
+    version: str
+
+    def label(self) -> str:
+        return f"{self.op}-{self.ctype}-{self.version}"
+
+
+@dataclass
+class ReduceRequest:
+    """One reduction submitted to the server."""
+
+    data: np.ndarray
+    op: str = "add"
+    ctype: str = "float"
+    version: str = "p"
+    tenant: str = "default"
+    #: Seconds the request may wait in queue before execution; ``None``
+    #: waits indefinitely.
+    deadline_s: float = None
+
+    def key(self) -> SessionKey:
+        return SessionKey(op=self.op, ctype=self.ctype, version=self.version)
+
+
+@dataclass
+class ReduceResponse:
+    """Outcome of one served reduction."""
+
+    value: float  #: reduction result (float() of the device element)
+    n: int  #: element count of the request
+    fused: bool  #: whether it executed inside a fused segmented launch
+    batch_size: int  #: requests in the launch that produced it
+    latency_s: float  #: submit → completion wall time
+    plan_name: str  #: plan that computed it ("" for empty requests)
+
+
+@dataclass
+class _Pending:
+    """Internal queue record tying a request to its Future."""
+
+    request: ReduceRequest
+    future: Future = field(default_factory=Future)
+    submitted_at: float = field(default_factory=time.perf_counter)
+    #: Absolute perf_counter deadline, or None.
+    deadline_at: float = None
+
+    def expired(self, now: float = None) -> bool:
+        if self.deadline_at is None:
+            return False
+        return (now if now is not None else time.perf_counter()) > self.deadline_at

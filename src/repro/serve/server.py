@@ -1,0 +1,296 @@
+"""Long-lived reduction server: intake, admission control, sessions.
+
+:class:`ReductionServer` is the zero-dependency serving entry point::
+
+    from repro.serve import ReductionServer
+
+    with ReductionServer() as server:
+        future = server.submit(data, op="add", version="p")
+        response = future.result()          # ReduceResponse
+        value = server.reduce(data).value   # synchronous sugar
+
+``submit`` is the async intake: it validates, admits and enqueues in
+the caller's thread (microseconds) and returns a
+:class:`concurrent.futures.Future`; callers *are* the thread pool.
+Requests route to multi-tenant **sessions** keyed by (op, ctype,
+version); each session's :class:`~repro.serve.scheduler.SessionScheduler`
+fuses concurrent requests into single segmented launches.
+
+Admission control happens here, synchronously, with typed errors
+(:mod:`repro.serve.errors`):
+
+* **per-tenant quota** — at most ``tenant_quota`` requests in flight
+  per tenant; the excess is rejected with :class:`QuotaExceeded`, never
+  queued, so one tenant cannot starve the rest;
+* **bounded queues** — a full session queue rejects with
+  :class:`QueueFull` (backpressure, global per session);
+* **deadlines** — per-request (or ``default_deadline_s``) queue-wait
+  budgets, enforced by the scheduler with :class:`DeadlineExceeded`;
+* **validation** — unknown op/ctype/version or non-1-D data rejects
+  with :class:`RequestInvalid`.
+
+Live telemetry flows through :func:`repro.obs.default_metrics` under
+the ``serve.*`` namespace; :meth:`ReductionServer.stats` additionally
+returns this server's own consistent counter snapshot (the registry is
+process-wide and may aggregate several servers).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.sources import LIBRARY_OPS
+from ..core.variants import FIG6
+from ..gpusim import parse_engine_spec
+from ..obs import default_metrics
+from .errors import QueueFull, QuotaExceeded, RequestInvalid, ServerClosed
+from .request import ReduceRequest, ReduceResponse, SessionKey, _Pending
+from .scheduler import SessionScheduler
+
+#: Counter names a server tracks (and mirrors under ``serve.*``).
+_COUNTER_FIELDS = (
+    "requests",
+    "responses",
+    "launches",
+    "batches",
+    "fused_batches",
+    "fused_requests",
+    "unfused_requests",
+    "fallbacks",
+    "errors",
+    "rejected_quota",
+    "rejected_queue",
+    "rejected_deadline",
+    "rejected_invalid",
+    "rejected_closed",
+)
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunables of one :class:`ReductionServer`."""
+
+    #: Fusion window: how long the batcher waits for co-travellers
+    #: after the first request of a batch arrives.
+    window_s: float = 0.002
+    #: Caps on one fused batch.
+    max_batch_requests: int = 64
+    max_batch_elements: int = 1 << 22
+    #: Bounded intake queue per session (backpressure beyond this).
+    max_queue_depth: int = 256
+    #: Max in-flight (queued + executing) requests per tenant.
+    tenant_quota: int = 64
+    #: Queue-wait budget applied when a request has none of its own.
+    default_deadline_s: float = None
+    #: Engine spec for every session ("auto", "batched-interpreted",
+    #: "sequential-native", ... — see ``parse_engine_spec``).
+    engine: str = "auto"
+    #: Master switch for cross-request fusion (off = always unfused).
+    fuse: bool = True
+    #: ``close()`` default: finish queued work (True) or reject it.
+    drain_on_close: bool = True
+
+    def __post_init__(self):
+        parse_engine_spec(self.engine)  # fail fast on a bad spec
+        if self.window_s < 0:
+            raise ValueError("window_s must be >= 0")
+        if self.max_batch_requests < 1:
+            raise ValueError("max_batch_requests must be >= 1")
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        if self.tenant_quota < 1:
+            raise ValueError("tenant_quota must be >= 1")
+
+
+class ReductionServer:
+    """Multi-tenant reduction-as-a-service runtime (in-process)."""
+
+    def __init__(self, config: ServerConfig = None):
+        self.config = config or ServerConfig()
+        self._lock = threading.Lock()
+        self._sessions = {}
+        self._inflight = {}  # tenant -> in-flight request count
+        self._counters = {name: 0 for name in _COUNTER_FIELDS}
+        self._closed = False
+        self._started_at = time.perf_counter()
+
+    # -- intake --------------------------------------------------------
+
+    def submit(
+        self,
+        data,
+        op: str = "add",
+        ctype: str = "float",
+        version: str = "p",
+        tenant: str = "default",
+        deadline_s: float = None,
+    ) -> Future:
+        """Validate, admit and enqueue one request; returns its Future.
+
+        Raises the typed admission errors synchronously — a rejected
+        request never occupies queue space."""
+        request = ReduceRequest(
+            data=self._validate_data(data, op, ctype, version),
+            op=op,
+            ctype=ctype,
+            version=version,
+            tenant=tenant,
+            deadline_s=(
+                deadline_s if deadline_s is not None
+                else self.config.default_deadline_s
+            ),
+        )
+        pending = _Pending(request=request)
+        if request.deadline_s is not None:
+            pending.deadline_at = pending.submitted_at + request.deadline_s
+
+        with self._lock:
+            if self._closed:
+                raise ServerClosed("server is closed")
+            inflight = self._inflight.get(tenant, 0)
+            if inflight >= self.config.tenant_quota:
+                self._counters["rejected_quota"] += 1
+                default_metrics().inc("serve.rejected.quota")
+                raise QuotaExceeded(tenant, self.config.tenant_quota)
+            self._inflight[tenant] = inflight + 1
+            scheduler = self._session_locked(request.key())
+
+        if not scheduler.try_enqueue(pending):
+            with self._lock:
+                self._inflight[tenant] -= 1
+                self._counters["rejected_queue"] += 1
+            default_metrics().inc("serve.rejected.queue")
+            raise QueueFull(request.key().label(), self.config.max_queue_depth)
+
+        with self._lock:
+            self._counters["requests"] += 1
+        default_metrics().inc("serve.requests")
+        return pending.future
+
+    def reduce(self, data, **kwargs) -> ReduceResponse:
+        """Synchronous :meth:`submit` (blocks for the response)."""
+        return self.submit(data, **kwargs).result()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self, drain: bool = None) -> None:
+        """Stop intake, then stop every session's batcher thread.
+
+        ``drain=True`` (the config default) finishes queued requests
+        first; ``drain=False`` rejects them with ServerClosed."""
+        drain = self.config.drain_on_close if drain is None else drain
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            sessions = list(self._sessions.values())
+        for scheduler in sessions:
+            scheduler.close(drain=drain)
+        for scheduler in sessions:
+            scheduler.join(timeout=60.0)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    # -- telemetry -----------------------------------------------------
+
+    def stats(self) -> dict:
+        """Consistent snapshot of this server's counters + derived
+        ratios; also refreshes the ``serve.fusion_ratio`` gauge."""
+        with self._lock:
+            counters = dict(self._counters)
+            sessions = {
+                key.label(): scheduler.queue_depth
+                for key, scheduler in self._sessions.items()
+            }
+            inflight = {
+                tenant: count
+                for tenant, count in self._inflight.items()
+                if count
+            }
+        responses = counters["responses"]
+        launches = counters["launches"]
+        fusion_ratio = (responses / launches) if launches else 0.0
+        snapshot = {
+            "uptime_s": time.perf_counter() - self._started_at,
+            "sessions": sessions,
+            "tenants_inflight": inflight,
+            "fusion_ratio": fusion_ratio,
+            **counters,
+        }
+        default_metrics().record(gauges={
+            "serve.fusion_ratio": round(fusion_ratio, 4),
+            "serve.sessions": len(sessions),
+        })
+        return snapshot
+
+    # -- internals -----------------------------------------------------
+
+    def _validate_data(self, data, op, ctype, version) -> np.ndarray:
+        if op not in LIBRARY_OPS:
+            raise RequestInvalid(
+                f"op must be one of {LIBRARY_OPS}, got {op!r}"
+            )
+        if ctype not in ("float", "int"):
+            raise RequestInvalid(f"ctype must be 'float' or 'int', got {ctype!r}")
+        if version not in FIG6:
+            raise RequestInvalid(
+                f"version must be a Figure 6 label (a-p), got {version!r}"
+            )
+        dtype = np.int32 if ctype == "int" else np.float32
+        try:
+            array = np.ascontiguousarray(data, dtype=dtype)
+        except (TypeError, ValueError) as exc:
+            raise RequestInvalid(f"bad request data: {exc}") from exc
+        if array.ndim != 1:
+            raise RequestInvalid(
+                f"request data must be 1-D, got {array.ndim}-D"
+            )
+        return array
+
+    def _session_locked(self, key: SessionKey) -> SessionScheduler:
+        scheduler = self._sessions.get(key)
+        if scheduler is None:
+            scheduler = SessionScheduler(
+                key, self.config, account=self._account,
+                on_finish=self._finish,
+            )
+            self._sessions[key] = scheduler
+        return scheduler
+
+    def _account(self, **deltas) -> None:
+        """Scheduler callback: fold counter deltas in atomically."""
+        with self._lock:
+            for name, delta in deltas.items():
+                self._counters[name] += delta
+        rejected = {
+            name: delta for name, delta in deltas.items()
+            if name.startswith("rejected_") or name == "errors"
+        }
+        if rejected:
+            default_metrics().record(counters={
+                "serve." + name.replace("rejected_", "rejected."): delta
+                for name, delta in rejected.items()
+            })
+
+    def _finish(self, pending: _Pending) -> None:
+        """Scheduler callback on any request resolution: quota release."""
+        tenant = pending.request.tenant
+        with self._lock:
+            count = self._inflight.get(tenant, 0)
+            if count > 0:
+                self._inflight[tenant] = count - 1

@@ -114,6 +114,10 @@ def _apply_binop(op, a, b):
         if _is_int_like(a) and _is_int_like(b):
             return a // b  # floor division, like the engine's _int_div
         return a / b
+    if op == "idiv":
+        if b == 0:
+            return UNKNOWN
+        return a // b  # floor division regardless of operand dtype
     if op == "mod":
         if b == 0:
             return UNKNOWN

@@ -66,7 +66,7 @@ def as_operand(value):
 
 BINARY_OPS = frozenset(
     {
-        "add", "sub", "mul", "div", "mod", "min", "max",
+        "add", "sub", "mul", "div", "idiv", "mod", "min", "max",
         "and", "or", "xor", "shl", "shr",
         "lt", "le", "gt", "ge", "eq", "ne",
         "land", "lor",

@@ -1,0 +1,150 @@
+"""Torn-update regressions in the observability layer.
+
+Two bugs from the serving-path concurrency sweep are locked here:
+
+* ``MetricsRegistry`` updates that span several names (a counter plus a
+  histogram sample, say) used to take the lock once per name, so a
+  concurrent reader could snapshot a counter that had advanced without
+  its paired histogram — ``record()`` now applies the whole group under
+  one lock acquisition.
+* ``Tracer`` keyed thread ids by ``threading.get_ident()``, which the
+  OS recycles: a short-lived thread's tid was handed to the next thread
+  and their spans interleaved on one trace row.  Thread ids are now
+  monotonic and thread-local.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.obs import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+THREADS = 8
+ROUNDS = 400
+
+
+class TestMetricsNoLostUpdates:
+    def test_inc_from_many_threads_loses_nothing(self):
+        registry = MetricsRegistry()
+        barrier = threading.Barrier(THREADS)
+
+        def worker():
+            barrier.wait()
+            for _ in range(ROUNDS):
+                registry.inc("hammered")
+                registry.inc("weighted", 3)
+
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            for _ in range(THREADS):
+                pool.submit(worker)
+        snapshot = registry.snapshot(include_caches=False)
+        assert snapshot["counters"]["hammered"] == THREADS * ROUNDS
+        assert snapshot["counters"]["weighted"] == 3 * THREADS * ROUNDS
+
+    def test_record_groups_are_never_torn(self):
+        # Each record() couples a counter with a histogram sample; any
+        # snapshot must observe count(batches) == count(samples) — a
+        # torn read or torn write breaks the equality.
+        registry = MetricsRegistry()
+        stop = threading.Event()
+        torn = []
+
+        def reader():
+            while not stop.is_set():
+                snap = registry.snapshot(include_caches=False)
+                batches = snap["counters"].get("batches", 0)
+                hist = snap["histograms"].get("sizes")
+                samples = hist["count"] if hist else 0
+                if batches != samples:
+                    torn.append((batches, samples))
+
+        def writer():
+            for _ in range(ROUNDS):
+                registry.record(
+                    counters={"batches": 1},
+                    observations={"sizes": 7},
+                )
+
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        writers = [threading.Thread(target=writer) for _ in range(4)]
+        for t in readers + writers:
+            t.start()
+        for t in writers:
+            t.join()
+        stop.set()
+        for t in readers:
+            t.join()
+        assert torn == []
+        snap = registry.snapshot(include_caches=False)
+        assert snap["counters"]["batches"] == 4 * ROUNDS
+        assert snap["histograms"]["sizes"]["count"] == 4 * ROUNDS
+
+    def test_observe_histogram_consistency_under_threads(self):
+        registry = MetricsRegistry()
+
+        def worker(base):
+            for i in range(ROUNDS):
+                registry.observe("lat", base + i)
+
+        threads = [
+            threading.Thread(target=worker, args=(b,)) for b in range(THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        hist = registry.snapshot(include_caches=False)["histograms"]["lat"]
+        assert hist["count"] == THREADS * ROUNDS
+        assert hist["count"] == sum(hist["buckets"].values())
+        assert hist["min"] == 0
+        assert hist["max"] == THREADS - 1 + ROUNDS - 1
+
+
+class TestTracerThreadIds:
+    def test_sequential_short_lived_threads_get_distinct_tids(self):
+        # The ident-recycling regression: threads that do NOT overlap
+        # in time are exactly the ones whose get_ident() values the OS
+        # reuses.  Every thread must still land on its own trace row.
+        tracer = Tracer(enabled=True)
+        for i in range(10):
+            def work(i=i):
+                with tracer.span(f"job-{i}"):
+                    pass
+            thread = threading.Thread(target=work)
+            thread.start()
+            thread.join()  # fully dead before the next starts
+        tids = [span.tid for span in tracer.spans]
+        assert len(tids) == 10
+        assert len(set(tids)) == 10, f"recycled tids: {tids}"
+
+    def test_concurrent_threads_one_tid_each_no_interleaving(self):
+        tracer = Tracer(enabled=True)
+        barrier = threading.Barrier(THREADS)
+
+        def worker(i):
+            barrier.wait()
+            for j in range(20):
+                with tracer.span("step", worker=i, j=j):
+                    pass
+
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            list(pool.map(worker, range(THREADS)))
+
+        by_tid = {}
+        for span in tracer.spans:
+            by_tid.setdefault(span.tid, []).append(span.args["worker"])
+        assert len(by_tid) == THREADS
+        for tid, workers in by_tid.items():
+            assert len(set(workers)) == 1, (
+                f"tid {tid} mixes workers {sorted(set(workers))}"
+            )
+            assert len(workers) == 20
+
+    def test_main_thread_keeps_one_tid(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        tids = {span.tid for span in tracer.spans}
+        assert len(tids) == 1
