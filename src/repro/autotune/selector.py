@@ -17,7 +17,7 @@ from .tuner import (
     DEFAULT_GRIDS,
     _bulk_profile,
     best_tuned_version,
-    configurations,
+    sweep_specs,
 )
 
 #: Size grid used to build the selection table (powers of four, like the
@@ -56,20 +56,9 @@ class DynamicSelector:
         one parallel batch, so table construction is one fan-out rather
         than one sweep per size.
         """
-        resolved = [
-            framework.resolve(key)
-            for key in (
-                candidates if candidates is not None else list(framework.catalog)
-            )
-        ]
         _bulk_profile(
             framework,
-            [
-                (version, n, tunables)
-                for n in sorted(sizes)
-                for version in resolved
-                for tunables in configurations(version, blocks, grids)
-            ],
+            sweep_specs(framework, sizes, candidates, blocks, grids),
             max_workers=max_workers,
         )
         entries = []

@@ -50,6 +50,33 @@ def configurations(version, blocks=DEFAULT_BLOCKS, grids=DEFAULT_GRIDS):
     return configs
 
 
+def sweep_specs(
+    framework,
+    sizes,
+    candidates=None,
+    blocks=DEFAULT_BLOCKS,
+    grids=DEFAULT_GRIDS,
+):
+    """The full ``(version, n, tunables)`` grid a tuning sweep profiles.
+
+    One canonical enumeration — sorted sizes × catalog order ×
+    :func:`configurations` — shared by :func:`tune_all`,
+    :meth:`~repro.autotune.selector.DynamicSelector.build` and the
+    ``repro sweep`` CLI, so a sweep sharded by profile-key hash covers
+    *exactly* the grid a single-process ``tune_all`` would profile.
+    """
+    candidates = (
+        candidates if candidates is not None else list(framework.catalog)
+    )
+    resolved = [framework.resolve(key) for key in candidates]
+    return [
+        (version, int(n), tunables)
+        for n in sorted(int(size) for size in sizes)
+        for version in resolved
+        for tunables in configurations(version, blocks, grids)
+    ]
+
+
 def _bulk_profile(framework, specs, max_workers=None) -> None:
     """Pre-profile many points at once when the framework supports it."""
     profile_many = getattr(framework, "profile_many", None)
@@ -104,11 +131,7 @@ def tune_all(
     candidates = candidates if candidates is not None else list(framework.catalog)
     _bulk_profile(
         framework,
-        [
-            (framework.resolve(key), n, tunables)
-            for key in candidates
-            for tunables in configurations(framework.resolve(key), blocks, grids)
-        ],
+        sweep_specs(framework, [n], candidates, blocks, grids),
         max_workers=max_workers,
     )
     return {

@@ -17,7 +17,22 @@ from .cache import (
     default_cache,
     default_plan_cache,
 )
-from .parallel import MAX_WORKERS_ENV, map_profiles, resolve_workers
+from .parallel import (
+    MAX_WORKERS_ENV,
+    WORKER_CAP_ENV,
+    SweepScheduler,
+    default_scheduler,
+    map_profiles,
+    resolve_workers,
+    shutdown_scheduler,
+)
+from .shard import (
+    ShardConflictError,
+    merge_tiers,
+    parse_shard,
+    shard_of,
+    tier_digest,
+)
 
 __all__ = [
     "CACHE_DIR_ENV",
@@ -25,11 +40,20 @@ __all__ = [
     "DEFAULT_MAX_ENTRIES",
     "DEFAULT_PLAN_ENTRIES",
     "MAX_WORKERS_ENV",
+    "WORKER_CAP_ENV",
     "ProfileCache",
+    "ShardConflictError",
+    "SweepScheduler",
     "configure",
     "content_key",
     "default_cache",
     "default_plan_cache",
+    "default_scheduler",
     "map_profiles",
+    "merge_tiers",
+    "parse_shard",
     "resolve_workers",
+    "shard_of",
+    "shutdown_scheduler",
+    "tier_digest",
 ]

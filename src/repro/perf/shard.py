@@ -1,0 +1,241 @@
+"""Mergeable shard tiers for cross-process / cross-host sweeps.
+
+A sharded sweep (``repro sweep --shard i/k --shard-dir DIR``) partitions
+the tuning grid *deterministically by profile key*: every spec's
+content hash (see :func:`repro.perf.cache.content_key`) maps to exactly
+one of ``k`` shards via :func:`shard_of`, so any number of processes —
+on any number of hosts sharing nothing but the grid parameters — cover
+the grid exactly once between them. Each shard profiles its slice into
+a private disk-cache tier (``DIR/shard-<i>of<k>``, ordinary
+:class:`~repro.perf.cache.ProfileCache` disk format) and drops a
+manifest next to it recording the spec hashes, cost statistics and the
+producing git revision.
+
+``repro cache merge DIR...`` (and :func:`merge_tiers`) folds shard
+tiers into a destination tier — normally the main ``REPRO_CACHE_DIR``.
+The fold is **idempotent** (an entry already present with an identical
+profile is skipped) and **conflict-checked**: the same key carrying a
+*different* profile value means two runs disagreed about a
+deterministic simulation result — a version skew or corruption — and
+raises :exc:`ShardConflictError` instead of silently clobbering either
+side. Entry identity compares the pickled profile *value* only; the
+stored compute cost is wall-clock timing and legitimately differs
+between hosts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import shutil
+import tempfile
+import time
+from hashlib import sha256
+from pathlib import Path
+
+from .cache import _DISK_SUFFIX
+
+#: Manifest filename written inside each shard tier directory.
+SHARD_MANIFEST_NAME = "shard-manifest.json"
+
+#: Manifest schema version (bump on incompatible layout changes).
+MANIFEST_SCHEMA = 1
+
+
+class ShardConflictError(RuntimeError):
+    """Two tiers hold *different* profiles for the same cache key."""
+
+
+def parse_shard(text: str):
+    """Parse an ``i/k`` shard designator into ``(index, count)``.
+
+    ``index`` is zero-based and must satisfy ``0 <= index < count``.
+    """
+    try:
+        index_text, count_text = str(text).split("/", 1)
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise ValueError(
+            f"shard must look like 'i/k' (e.g. '0/2'), got {text!r}"
+        ) from None
+    if count < 1 or not 0 <= index < count:
+        raise ValueError(
+            f"shard index must be in [0, {count}), got {text!r}"
+        )
+    return index, count
+
+
+def shard_of(key: str, count: int) -> int:
+    """Deterministic shard owning a cache key (stable across hosts).
+
+    Uses the leading hex digits of the content hash itself, so the
+    partition depends only on the key — not on Python's seeded
+    ``hash()``, the process, or the platform.
+    """
+    if count < 1:
+        raise ValueError("shard count must be positive")
+    return int(key[:8], 16) % count
+
+
+def tier_path(shard_dir, index: int, count: int) -> Path:
+    """Directory for one shard's private cache tier."""
+    return Path(shard_dir) / f"shard-{index}of{count}"
+
+
+def _git_sha() -> str:
+    import subprocess
+
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except Exception:
+        pass
+    return "unknown"
+
+
+def build_manifest(
+    shard_index: int,
+    shard_count: int,
+    keys,
+    grid: dict,
+    wall_s: float,
+    cache_stats: dict,
+) -> dict:
+    """Manifest payload for one completed shard sweep."""
+    keys = sorted(keys)
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "shard": {"index": shard_index, "count": shard_count},
+        "points": len(keys),
+        "keys": keys,
+        "grid": dict(grid),
+        "cost": {
+            "wall_s": round(float(wall_s), 6),
+            "compute_time_s": cache_stats.get("compute_time_s", 0.0),
+            "time_saved_s": cache_stats.get("time_saved_s", 0.0),
+            "misses": cache_stats.get("misses", 0),
+            "hits": cache_stats.get("hits", 0),
+        },
+        "git_sha": _git_sha(),
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+
+
+def write_manifest(tier_dir, manifest: dict) -> Path:
+    path = Path(tier_dir) / SHARD_MANIFEST_NAME
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def read_manifest(tier_dir) -> dict:
+    return json.loads((Path(tier_dir) / SHARD_MANIFEST_NAME).read_text())
+
+
+def entry_value_digest(path) -> str:
+    """Content digest of one disk entry's profile *value*.
+
+    Re-pickles ``payload["value"]`` alone so the digest ignores the
+    stored ``cost_s`` (timing — never comparable across runs). Returns
+    ``None`` for unreadable/corrupt entries.
+    """
+    try:
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        blob = pickle.dumps(payload["value"], protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        return None
+    return sha256(blob).hexdigest()
+
+
+def iter_tier_entries(root):
+    """Yield ``(key, path)`` for every disk entry under ``root``
+    (recursively — a shard dir holding several tiers works too)."""
+    root = Path(root)
+    for path in sorted(root.rglob(f"*{_DISK_SUFFIX}")):
+        name = path.name
+        if name.startswith(".tmp-"):
+            continue
+        yield name[: -len(_DISK_SUFFIX)], path
+
+
+def tier_digest(root) -> dict:
+    """``{key: value_digest}`` for a tier — the bit-identity fingerprint
+    CI compares between a sharded+merged sweep and a single-process one.
+    Corrupt entries are omitted."""
+    digests = {}
+    for key, path in iter_tier_entries(root):
+        digest = entry_value_digest(path)
+        if digest is not None:
+            digests[key] = digest
+    return digests
+
+
+def merge_tiers(sources, dest) -> dict:
+    """Fold shard tiers into ``dest`` (idempotent, conflict-checked).
+
+    For every entry in every source tier: absent from ``dest`` → copied
+    (atomically, tmp + ``os.replace``); present with an identical value
+    digest → counted and skipped; present with a *different* digest →
+    :exc:`ShardConflictError`. Corrupt source entries are skipped and
+    counted. Returns ``{"sources", "examined", "merged", "identical",
+    "corrupt"}``.
+    """
+    dest = Path(dest)
+    dest.mkdir(parents=True, exist_ok=True)
+    dest_resolved = dest.resolve()
+    stats = {
+        "sources": 0,
+        "examined": 0,
+        "merged": 0,
+        "identical": 0,
+        "corrupt": 0,
+    }
+    for root in sources:
+        stats["sources"] += 1
+        for key, path in iter_tier_entries(root):
+            if path.parent.resolve() == dest_resolved:
+                continue  # dest nested under a source dir: not a copy
+            stats["examined"] += 1
+            digest = entry_value_digest(path)
+            if digest is None:
+                stats["corrupt"] += 1
+                continue
+            target = dest / path.name
+            if target.exists():
+                existing = entry_value_digest(target)
+                if existing == digest:
+                    stats["identical"] += 1
+                    continue
+                if existing is not None:
+                    raise ShardConflictError(
+                        f"cache key {key} has conflicting profiles: "
+                        f"{path} (value digest {digest[:12]}) vs "
+                        f"{target} (value digest {existing[:12]}); "
+                        "refusing to merge — check for version skew "
+                        "between shard producers"
+                    )
+                # corrupt destination entry: replace it
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(dest), prefix=".tmp-", suffix=_DISK_SUFFIX
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    with open(path, "rb") as source_handle:
+                        shutil.copyfileobj(source_handle, handle)
+                os.replace(tmp_name, target)
+                stats["merged"] += 1
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+    return stats

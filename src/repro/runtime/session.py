@@ -275,11 +275,15 @@ class ReductionFramework:
         max_workers: int = None,
     ):
         """Profile many ``(version, n, tunables)`` points, fanning the
-        missing ones out over the :mod:`repro.perf.parallel` pool.
+        missing ones out over the :mod:`repro.perf.parallel`
+        work-stealing scheduler.
 
-        Results merge into the shared cache in spec order (deterministic
-        regardless of worker completion order) and are returned aligned
-        with ``specs``.
+        Each completed profile **streams** into the shared cache the
+        moment its worker finishes (so concurrent readers see results
+        mid-sweep), then the cache's LRU recency is re-established in
+        spec order — the final cache state is deterministic regardless
+        of worker completion order. Results are returned aligned with
+        ``specs``.
         """
         resolved = [
             (self.resolve(version), int(n), tunables)
@@ -310,12 +314,23 @@ class ReductionFramework:
                 )
                 for index in missing
             ]
-            results = map_profiles(worker_specs, max_workers=max_workers)
-            for index, (profile, num_memsets, cost_s) in zip(missing, results):
-                if keys[index] not in self.cache:
-                    self.cache.put(
-                        keys[index], (profile, num_memsets), cost_s=cost_s
-                    )
+            missing_keys = [keys[index] for index in missing]
+
+            def _insert(position, result):
+                # Streaming insert, called in completion order as each
+                # worker finishes its spec.
+                profile, num_memsets, cost_s = result
+                key = missing_keys[position]
+                if key not in self.cache:
+                    self.cache.put(key, (profile, num_memsets), cost_s=cost_s)
+
+            map_profiles(
+                worker_specs, max_workers=max_workers, on_result=_insert
+            )
+            # Completion order varies run to run; touching in spec order
+            # restores deterministic LRU recency (and thus eviction
+            # order) identical to a serial sweep.
+            self.cache.touch(missing_keys)
         metrics = default_metrics()
         metrics.inc("sweep.points", len(resolved))
         metrics.inc("sweep.misses", len(missing))

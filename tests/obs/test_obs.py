@@ -333,10 +333,11 @@ def _dying_profile_entry(spec):
 
 class TestWorkerDeath:
     """A pool worker dying mid-sweep must never corrupt the trace:
-    spans shipped by workers that *did* complete still merge (each
-    under its own ``worker-<k>`` tid, exactly once), the broken pool
-    attempt leaks no partial merges, and the sweep falls back to
-    threads with correct results."""
+    spans shipped by specs that *did* complete still merge (each under
+    the owning worker's stable ``worker-<slot>`` tid, exactly once),
+    completed results are kept, and only the unfinished specs are
+    retried — fresh process pool, then threads — with correct
+    results."""
 
     SIZES = [1024, 2048, 4096, 8192]
 
@@ -366,18 +367,20 @@ class TestWorkerDeath:
         assert len(merged) == 2  # once per surviving worker, no dupes
         assert WORKER_TID_BASE + 1 not in {s.tid for s in merged}
 
-    def test_pool_worker_death_falls_back_and_keeps_trace_clean(
+    def test_pool_worker_death_retries_unfinished_and_keeps_trace_clean(
         self, monkeypatch
     ):
-        """Kill one process-pool worker mid-sweep (``os._exit`` skips
-        all cleanup, as a real crash would): map_profiles must fall
-        back to threads, return correct aligned results, and the trace
-        must hold each sweep point exactly once under real thread tids
-        — no partial merges from the broken pool attempt, no duplicate
-        ``worker-<k>`` tids."""
+        """Kill the process-pool worker that picks up the poisoned spec
+        (``os._exit`` skips all cleanup, as a real crash would):
+        map_profiles must keep every completed result, retry only the
+        unfinished specs (fresh pool, then threads — where the
+        unpatched ``_profile_spec`` entry point succeeds), return
+        correct aligned results, and the trace must hold each sweep
+        point exactly once — completed points under stable worker tids,
+        retried points under real parent tids."""
         import sys
 
-        from repro.perf import ProfileCache, default_cache
+        from repro.perf import ProfileCache, default_cache, shutdown_scheduler
         from repro.perf import parallel as parallel_mod
         from repro.runtime import ReductionFramework
 
@@ -393,6 +396,10 @@ class TestWorkerDeath:
         monkeypatch.setattr(
             parallel_mod, "_profile_spec_traced", _dying_profile_entry
         )
+        # The persistent pool (if an earlier test spawned it) forked
+        # before the monkeypatch; drop it so the sweep's workers fork
+        # now and inherit the poisoned entry point.
+        shutdown_scheduler()
         # Guarantee the traced run actually profiles (the serial pass
         # above warmed the in-process default cache the pool's worker
         # frameworks share).
@@ -407,6 +414,7 @@ class TestWorkerDeath:
             results = fw.profile_many(self._specs(), max_workers=2)
         finally:
             tracer.enabled = was_enabled
+            shutdown_scheduler()  # don't leak poisoned forks to later tests
         new = tracer.spans[before:]
 
         assert len(results) == len(expected)
@@ -418,12 +426,17 @@ class TestWorkerDeath:
             for got_step, ref_step in zip(profile.steps, ref_profile.steps):
                 assert dict(got_step.events) == dict(ref_step.events)
 
-        # The broken pool attempt is all-or-nothing: nothing merged
-        # under worker tids, and the thread fallback recorded each
-        # point exactly once.
-        assert all(s.tid < WORKER_TID_BASE for s in new)
+        # Exactly one sweep.point per spec overall: specs completed by
+        # pool workers shipped theirs (merged under stable worker
+        # slots), retried specs recorded theirs in the parent.
         points = [s for s in new if s.name == "sweep.point"]
         assert sorted(s.args["n"] for s in points) == self.SIZES
+        worker_tids = {s.tid for s in points if s.tid >= WORKER_TID_BASE}
+        assert worker_tids <= {WORKER_TID_BASE, WORKER_TID_BASE + 1}
+        # The poisoned spec kills any process worker that touches it, so
+        # its point can only have landed via the thread/serial retries.
+        poison = [s for s in points if s.args["n"] == 2048]
+        assert len(poison) == 1 and poison[0].tid < WORKER_TID_BASE
 
     def test_healthy_pool_merges_each_point_once(self):
         """Control run: with no deaths the process pool merges shipped

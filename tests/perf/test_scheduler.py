@@ -1,0 +1,258 @@
+"""Work-stealing sweep scheduler: dispatch policy, determinism,
+persistent-pool reuse, and per-future fault tolerance.
+
+The scheduler's contract is that *scheduling is invisible except in
+wall time*: whatever order workers complete specs in — including after
+a worker death — the caller-visible results, the cache contents, the
+cache's LRU order and the tuning tables must be bit-identical to a
+serial sweep.
+"""
+
+import os
+
+import pytest
+
+from repro.codegen import Tunables
+from repro.perf import ProfileCache, shutdown_scheduler
+from repro.perf import parallel as parallel_mod
+from repro.perf.parallel import (
+    DEFAULT_WORKER_CAP,
+    MAX_WORKERS_ENV,
+    WORKER_CAP_ENV,
+    dispatch_order,
+    predicted_cost,
+    resolve_workers,
+)
+from repro.runtime import ReductionFramework
+
+
+def _spec(n, block=64, grid=8, sample_limit=None):
+    return ("add", "float", False, None, n, Tunables(block=block, grid=grid),
+            sample_limit)
+
+
+class TestDispatchOrder:
+    def test_large_unsampled_cost_dominates(self):
+        # Unsampled profiles touch every element (cost ~ n); a sampled
+        # profile of the same n touches a few blocks' worth.
+        big_unsampled = _spec(1 << 20, block=256, grid=64)
+        big_sampled = _spec(1 << 20, block=256, grid=4096, sample_limit=3)
+        small = _spec(1024, block=64, grid=8)
+        assert predicted_cost(big_unsampled) > predicted_cost(big_sampled)
+        assert predicted_cost(big_unsampled) > predicted_cost(small)
+
+    def test_order_is_descending_cost_with_stable_ties(self):
+        specs = [_spec(1024), _spec(1 << 20, block=256, grid=64),
+                 _spec(1024), _spec(65536, block=256, grid=64)]
+        order = dispatch_order(specs)
+        assert order[0] == 1  # the straggler starts first
+        assert order[1] == 3
+        assert order[2:] == [0, 2]  # equal costs keep submission order
+
+    def test_none_tunables_are_schedulable(self):
+        spec = ("add", "float", False, None, 4096, None, None)
+        assert predicted_cost(spec) > 0
+
+
+class TestWorkerResolution:
+    def test_cap_env_overrides_default_cap(self, monkeypatch):
+        monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 32)
+        monkeypatch.delenv(MAX_WORKERS_ENV, raising=False)
+        monkeypatch.delenv(WORKER_CAP_ENV, raising=False)
+        assert resolve_workers() == DEFAULT_WORKER_CAP
+        monkeypatch.setenv(WORKER_CAP_ENV, "16")
+        assert resolve_workers() == 16
+        # The cap only bounds auto-selection; fewer cores still win.
+        monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 4)
+        assert resolve_workers() == 4
+
+    def test_max_workers_env_beats_cap(self, monkeypatch):
+        monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 32)
+        monkeypatch.setenv(WORKER_CAP_ENV, "4")
+        monkeypatch.setenv(MAX_WORKERS_ENV, "12")
+        assert resolve_workers() == 12
+
+    def test_bad_cap_env_falls_back_to_default(self, monkeypatch):
+        monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 32)
+        monkeypatch.delenv(MAX_WORKERS_ENV, raising=False)
+        monkeypatch.setenv(WORKER_CAP_ENV, "not-a-number")
+        assert resolve_workers() == DEFAULT_WORKER_CAP
+
+
+SIZES = [1024, 2048, 4096, 8192, 16384, 32768]
+
+
+def _specs():
+    return [("b", n, Tunables(block=64, grid=8)) for n in SIZES]
+
+
+def _table(results):
+    return {
+        key: (result.tunables, result.time_s)
+        for key, result in results.items()
+    }
+
+
+class TestSchedulingDeterminism:
+    def test_cache_contents_and_lru_order_match_serial(self):
+        serial = ReductionFramework(op="add", cache=ProfileCache())
+        serial.profile_many(_specs(), max_workers=1)
+        parallel = ReductionFramework(op="add", cache=ProfileCache())
+        parallel.profile_many(_specs(), max_workers=2)
+        assert list(serial.cache._mem) == list(parallel.cache._mem)
+        for key in serial.cache._mem:
+            left = serial.cache._mem[key].value
+            right = parallel.cache._mem[key].value
+            assert left[1] == right[1]  # num_memsets
+            assert left[0].result == right[0].result
+            for got, ref in zip(left[0].steps, right[0].steps):
+                assert dict(got.events) == dict(ref.events)
+
+    def test_tune_all_table_is_schedule_independent(self):
+        from repro.autotune import tune_all
+
+        serial = ReductionFramework(op="add", cache=ProfileCache())
+        parallel = ReductionFramework(op="add", cache=ProfileCache())
+        blocks, grids = (64, 128), (None, 8)
+        reference = tune_all(
+            serial, 4096, "kepler", candidates=["b", "p"],
+            blocks=blocks, grids=grids, max_workers=1,
+        )
+        stolen = tune_all(
+            parallel, 4096, "kepler", candidates=["b", "p"],
+            blocks=blocks, grids=grids, max_workers=2,
+        )
+        assert _table(reference) == _table(stolen)
+
+    def test_selector_table_is_schedule_independent(self):
+        from repro.autotune import DynamicSelector
+
+        kwargs = dict(
+            sizes=(1024, 16384), candidates=["b", "p"],
+            blocks=(64,), grids=(None, 8),
+        )
+        serial = DynamicSelector.build(
+            ReductionFramework(op="add", cache=ProfileCache()),
+            "kepler", max_workers=1, **kwargs,
+        )
+        stolen = DynamicSelector.build(
+            ReductionFramework(op="add", cache=ProfileCache()),
+            "kepler", max_workers=2, **kwargs,
+        )
+        assert [
+            (e.max_n, e.version_key, e.tunables, e.time_s)
+            for e in serial.entries
+        ] == [
+            (e.max_n, e.version_key, e.tunables, e.time_s)
+            for e in stolen.entries
+        ]
+
+
+class TestPersistentPool:
+    def test_pool_is_reused_across_sweeps(self):
+        from repro.obs import default_metrics
+
+        shutdown_scheduler()
+        metrics = default_metrics()
+
+        def counters():
+            snap = metrics.snapshot()["counters"]
+            return (snap.get("sweep.sched.pool_spawns", 0),
+                    snap.get("sweep.sched.pool_reuses", 0))
+
+        spawns0, reuses0 = counters()
+        fw = ReductionFramework(op="add", cache=ProfileCache())
+        fw.profile_many(_specs(), max_workers=2)
+        fw2 = ReductionFramework(op="add", cache=ProfileCache())
+        fw2.profile_many(_specs(), max_workers=2)
+        spawns1, reuses1 = counters()
+        assert spawns1 - spawns0 == 1  # second sweep reused the pool
+        assert reuses1 - reuses0 >= 1
+        shutdown_scheduler()
+
+
+# Module-level so forked pool workers inherit them (the test rebinds
+# them via monkeypatch before the pool is created).
+_DIE_ONCE_ORIGINAL = None
+_DIE_ONCE_FLAG = None
+_DIE_ONCE_POISON_N = None
+
+
+def _die_once_entry(spec):
+    """Kill the worker the first time it sees the poisoned spec; the
+    flag file makes the retry (in a freshly spawned pool) succeed —
+    isolating recreate-pool-and-retry-unfinished from the thread/serial
+    cascade."""
+    if spec[4] == _DIE_ONCE_POISON_N:
+        import os as _os
+
+        if not _os.path.exists(_DIE_ONCE_FLAG):
+            open(_DIE_ONCE_FLAG, "w").close()
+            _os._exit(1)
+    return _DIE_ONCE_ORIGINAL(spec)
+
+
+class TestFaultTolerance:
+    def test_die_once_worker_death_retries_only_unfinished(
+        self, monkeypatch, tmp_path
+    ):
+        import sys
+
+        from repro.obs import default_metrics
+
+        this_module = sys.modules[__name__]
+        monkeypatch.setattr(
+            this_module, "_DIE_ONCE_ORIGINAL",
+            parallel_mod._profile_spec_traced,
+        )
+        monkeypatch.setattr(
+            this_module, "_DIE_ONCE_FLAG", str(tmp_path / "died-once")
+        )
+        monkeypatch.setattr(this_module, "_DIE_ONCE_POISON_N", 4096)
+        monkeypatch.setattr(
+            parallel_mod, "_profile_spec_traced", _die_once_entry
+        )
+        # Fork after the patch so workers inherit the poisoned entry.
+        shutdown_scheduler()
+
+        serial = ReductionFramework(op="add", cache=ProfileCache())
+        expected = serial.profile_many(_specs(), max_workers=1)
+
+        metrics = default_metrics()
+        retried0 = metrics.snapshot()["counters"].get(
+            "sweep.sched.retried", 0
+        )
+        try:
+            fw = ReductionFramework(op="add", cache=ProfileCache())
+            results = fw.profile_many(_specs(), max_workers=2)
+        finally:
+            shutdown_scheduler()  # no poisoned forks leak to later tests
+        retried1 = metrics.snapshot()["counters"].get(
+            "sweep.sched.retried", 0
+        )
+
+        assert os.path.exists(str(tmp_path / "died-once"))  # it did die
+        assert len(results) == len(expected)
+        for (profile, memsets), (ref_profile, ref_memsets) in zip(
+            results, expected
+        ):
+            assert memsets == ref_memsets
+            assert profile.result == ref_profile.result
+        # Only unfinished specs were re-dispatched — never the whole
+        # list (the old fallback re-ran all six).
+        assert 1 <= retried1 - retried0 < len(SIZES)
+
+    def test_serial_tail_propagates_real_errors(self, monkeypatch):
+        def _boom(spec):
+            raise ValueError("deterministic spec failure")
+
+        monkeypatch.setattr(parallel_mod, "_profile_spec", _boom)
+        monkeypatch.setattr(parallel_mod, "_profile_spec_traced", _boom)
+        shutdown_scheduler()
+        try:
+            with pytest.raises(ValueError, match="deterministic spec"):
+                parallel_mod.map_profiles(
+                    [_spec(n) for n in (64, 128, 256, 512)], max_workers=2
+                )
+        finally:
+            shutdown_scheduler()

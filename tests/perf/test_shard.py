@@ -1,0 +1,206 @@
+"""Shard tiers: deterministic partitioning, mergeable disk tiers,
+manifest round-trips, and the ``repro sweep`` / ``repro cache merge``
+CLI workflow.
+
+The acceptance property: a sweep sharded two ways and merged produces
+a cache — and a tuning table read back from it — bit-identical to the
+single-process sweep of the same grid.
+"""
+
+import pickle
+
+import pytest
+
+from repro.cli import main
+from repro.perf import ProfileCache
+from repro.perf.shard import (
+    SHARD_MANIFEST_NAME,
+    ShardConflictError,
+    build_manifest,
+    entry_value_digest,
+    merge_tiers,
+    parse_shard,
+    read_manifest,
+    shard_of,
+    tier_digest,
+    tier_path,
+    write_manifest,
+)
+
+#: A compact but representative grid: one coop version (p ignores
+#: grid) and one compound version, two sizes, two blocks.
+GRID_ARGS = [
+    "--sizes", "1024,4096", "--versions", "b,p",
+    "--blocks", "64,128", "--grids", "none,8",
+]
+
+
+class TestPartitioning:
+    def test_parse_shard(self):
+        assert parse_shard("0/2") == (0, 2)
+        assert parse_shard("3/4") == (3, 4)
+        for bad in ("2/2", "-1/2", "1", "a/b", "1/0"):
+            with pytest.raises(ValueError):
+                parse_shard(bad)
+
+    def test_partition_is_deterministic_total_and_disjoint(self):
+        keys = [f"{i:08x}{'0' * 56}" for i in range(64)]
+        for count in (1, 2, 3, 5):
+            owners = [shard_of(key, count) for key in keys]
+            assert owners == [shard_of(key, count) for key in keys]
+            assert all(0 <= owner < count for owner in owners)
+        # More than one shard actually gets work on a realistic grid.
+        assert len({shard_of(key, 2) for key in keys}) == 2
+
+
+def _make_tier(path, entries):
+    cache = ProfileCache(disk_dir=path)
+    for key, value in entries.items():
+        cache.put(key, value, cost_s=0.5)
+    return path
+
+
+KEY_A = "a" * 64
+KEY_B = "b" * 64
+
+
+class TestMergeTiers:
+    def test_merge_and_idempotence(self, tmp_path):
+        tier1 = _make_tier(tmp_path / "t1", {KEY_A: {"profile": 1}})
+        tier2 = _make_tier(tmp_path / "t2", {KEY_B: {"profile": 2}})
+        dest = tmp_path / "dest"
+        stats = merge_tiers([tier1, tier2], dest)
+        assert stats["merged"] == 2 and stats["identical"] == 0
+        first = tier_digest(dest)
+        assert set(first) == {KEY_A, KEY_B}
+        # Merging again is a no-op with the same final state.
+        again = merge_tiers([tier1, tier2], dest)
+        assert again["merged"] == 0 and again["identical"] == 2
+        assert tier_digest(dest) == first
+
+    def test_same_value_different_cost_is_identical(self, tmp_path):
+        tier1 = tmp_path / "t1"
+        tier2 = tmp_path / "t2"
+        ProfileCache(disk_dir=tier1).put(KEY_A, {"profile": 1}, cost_s=0.1)
+        ProfileCache(disk_dir=tier2).put(KEY_A, {"profile": 1}, cost_s=9.9)
+        dest = tmp_path / "dest"
+        merge_tiers([tier1], dest)
+        stats = merge_tiers([tier2], dest)
+        assert stats["identical"] == 1  # cost_s is timing, not identity
+
+    def test_conflicting_value_raises(self, tmp_path):
+        tier1 = _make_tier(tmp_path / "t1", {KEY_A: {"profile": 1}})
+        tier2 = _make_tier(tmp_path / "t2", {KEY_A: {"profile": 2}})
+        dest = tmp_path / "dest"
+        merge_tiers([tier1], dest)
+        with pytest.raises(ShardConflictError, match=KEY_A[:8]):
+            merge_tiers([tier2], dest)
+        # The destination keeps its original entry.
+        assert tier_digest(dest) == tier_digest(tier1)
+
+    def test_corrupt_source_entry_is_skipped(self, tmp_path):
+        tier = _make_tier(tmp_path / "t1", {KEY_A: {"profile": 1}})
+        (tier / f"{KEY_B}.profile.pkl").write_bytes(b"not a pickle")
+        stats = merge_tiers([tier], tmp_path / "dest")
+        assert stats["merged"] == 1 and stats["corrupt"] == 1
+
+    def test_value_digest_ignores_cost(self, tmp_path):
+        path1, path2 = tmp_path / "e1.profile.pkl", tmp_path / "e2.profile.pkl"
+        for path, cost in ((path1, 0.25), (path2, 123.0)):
+            path.write_bytes(pickle.dumps({"value": (1, 2), "cost_s": cost}))
+        assert entry_value_digest(path1) == entry_value_digest(path2)
+
+
+class TestManifest:
+    def test_roundtrip(self, tmp_path):
+        manifest = build_manifest(
+            1, 2, [KEY_B, KEY_A],
+            grid={"sizes": [1024], "versions": ["b"]},
+            wall_s=1.25,
+            cache_stats={"compute_time_s": 1.0, "misses": 3, "hits": 0},
+        )
+        tier = tmp_path / "tier"
+        path = write_manifest(tier, manifest)
+        assert path.name == SHARD_MANIFEST_NAME
+        loaded = read_manifest(tier)
+        assert loaded["shard"] == {"index": 1, "count": 2}
+        assert loaded["points"] == 2
+        assert loaded["keys"] == sorted([KEY_A, KEY_B])
+        assert loaded["cost"]["wall_s"] == 1.25
+        assert loaded["grid"]["sizes"] == [1024]
+        assert "git_sha" in loaded
+
+
+class TestShardedSweepCLI:
+    """End-to-end through ``repro.cli.main``: shard 0/2 + shard 1/2 →
+    merge must equal the single-process sweep, bit for bit, and the
+    tuning table read from either cache must be identical."""
+
+    def _tune_table(self, cache_dir):
+        from repro.autotune import tune_all
+        from repro.runtime import ReductionFramework
+
+        fw = ReductionFramework(
+            op="add", cache=ProfileCache(disk_dir=cache_dir)
+        )
+        results = tune_all(
+            fw, 4096, "kepler", candidates=["b", "p"],
+            blocks=(64, 128), grids=(None, 8), max_workers=1,
+        )
+        return {
+            key: (result.tunables, result.time_s)
+            for key, result in results.items()
+        }
+
+    def test_two_shards_merge_equals_single_sweep(self, tmp_path):
+        shards = tmp_path / "shards"
+        single = tmp_path / "single"
+        merged = tmp_path / "merged"
+        for shard in ("0/2", "1/2"):
+            assert main(
+                ["sweep", *GRID_ARGS, "--shard", shard,
+                 "--shard-dir", str(shards)]
+            ) == 0
+        assert main(
+            ["sweep", *GRID_ARGS, "--shard", "0/1",
+             "--shard-dir", str(single)]
+        ) == 0
+        tier0 = tier_path(shards, 0, 2)
+        tier1 = tier_path(shards, 1, 2)
+        assert main(
+            ["cache", "merge", str(tier0), str(tier1),
+             "--dest", str(merged)]
+        ) == 0
+
+        single_tier = tier_path(single, 0, 1)
+        merged_digest = tier_digest(merged)
+        assert merged_digest  # non-empty
+        assert merged_digest == tier_digest(single_tier)
+
+        # Shards partitioned the grid: disjoint, union == whole.
+        digest0, digest1 = tier_digest(tier0), tier_digest(tier1)
+        assert digest0 and digest1
+        assert not (set(digest0) & set(digest1))
+        assert {**digest0, **digest1} == merged_digest
+
+        # Manifests agree with the tiers they describe.
+        for index, tier in ((0, tier0), (1, tier1)):
+            manifest = read_manifest(tier)
+            assert manifest["shard"] == {"index": index, "count": 2}
+            assert sorted(tier_digest(tier)) == manifest["keys"]
+
+        # The tuning table built from the merged shards is identical to
+        # the one built from the single-process sweep's cache.
+        assert self._tune_table(merged) == self._tune_table(single_tier)
+
+    def test_cli_merge_conflict_exits_nonzero(self, tmp_path, capsys):
+        tier1 = _make_tier(tmp_path / "t1", {KEY_A: {"profile": 1}})
+        tier2 = _make_tier(tmp_path / "t2", {KEY_A: {"profile": 2}})
+        dest = tmp_path / "dest"
+        assert main(["cache", "merge", str(tier1), "--dest", str(dest)]) == 0
+        assert main(["cache", "merge", str(tier2), "--dest", str(dest)]) == 1
+        assert "CONFLICT" in capsys.readouterr().err
+
+    def test_cli_shard_requires_shard_dir(self, capsys):
+        assert main(["sweep", "-n", "1024", "--shard", "0/2"]) == 2
+        assert "--shard-dir" in capsys.readouterr().err
